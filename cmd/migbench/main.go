@@ -1,0 +1,159 @@
+// migbench regenerates every table and figure of the paper's evaluation
+// (Section 4) and prints them in the paper's format. The experiment index
+// is in DESIGN.md; EXPERIMENTS.md records the comparison against the
+// published numbers.
+//
+// Usage:
+//
+//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead] [-quick] [-repeats N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain")
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
+	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
+	flag.Parse()
+
+	cfg := exper.Config{Quick: *quick, Repeats: *repeats}
+	run := func(name string) bool { return *expName == "all" || *expName == name }
+	failed := false
+
+	if run("hetero") {
+		rows, err := exper.Heterogeneity(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintHeterogeneity(os.Stdout, rows)
+		for _, r := range rows {
+			if !r.OK {
+				failed = true
+			}
+		}
+	}
+	if run("table1") {
+		rows, err := exper.Table1(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintTable1(os.Stdout, rows)
+	}
+	if run("fig2a") {
+		res, err := exper.Fig2aLinpack(cfg)
+		if err != nil {
+			fail(err)
+		}
+		writeTSV(*tsvDir, "fig2a.tsv", res)
+		exper.PrintScaling(os.Stdout,
+			"E3 (Figure 2a): linpack data collection and restoration vs data size, Ultra 5",
+			res)
+		cf := res.CollectSeries().LinearFit()
+		rf := res.RestoreSeries().LinearFit()
+		fmt.Printf("linear fits: collect %.3g s/byte (R^2 %.4f), restore %.3g s/byte (R^2 %.4f)\n",
+			cf.Slope, cf.R2, rf.Slope, rf.R2)
+		fmt.Printf("growth exponents: collect %.2f, restore %.2f (paper: linear, 1.0)\n\n",
+			res.CollectSeries().GrowthExponent(), res.RestoreSeries().GrowthExponent())
+	}
+	if run("fig2b") {
+		res, err := exper.Fig2bBitonic(cfg)
+		if err != nil {
+			fail(err)
+		}
+		writeTSV(*tsvDir, "fig2b.tsv", res)
+		exper.PrintScaling(os.Stdout,
+			"E4 (Figure 2b): bitonic data collection and restoration vs numbers sorted, Ultra 5",
+			res)
+		last := res.Points[len(res.Points)-1]
+		first := res.Points[0]
+		fmt.Printf("collect/restore ratio: %.2f at n=%d -> %.2f at n=%d (paper: collection pulls ahead as n grows)\n\n",
+			first.Collect.Seconds()/first.Restore.Seconds(), first.N,
+			last.Collect.Seconds()/last.Restore.Seconds(), last.N)
+	}
+	if run("complexity") {
+		rows, err := exper.Breakdown(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintBreakdown(os.Stdout, rows)
+	}
+	if run("chain") {
+		r, err := exper.Chain(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintChain(os.Stdout, r)
+		if !r.OK {
+			failed = true
+		}
+	}
+	if run("ablations") {
+		rows, err := exper.DedupAblation(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintAblation(os.Stdout,
+			"D1 ablation: depth-first visit marking (dedup) on a sharing-heavy DAG", rows)
+		rows, err = exper.MSRLTIndexAblation(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintAblation(os.Stdout,
+			"D3 ablation: MSRLT ordered-table search vs base-address hash index (bitonic)", rows)
+		rows, err = exper.PointerEncodingCost(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintAblation(os.Stdout,
+			"D2 analysis: stream composition under (header, offset) pointer encoding (bitonic)", rows)
+	}
+	if run("overhead") {
+		rows, err := exper.PollPlacementOverhead(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintOverhead(os.Stdout,
+			"E6a (Section 4.3): poll-point placement overhead (kernel called many times)", rows)
+		rows2, err := exper.AllocationOverhead(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintOverhead(os.Stdout,
+			"E6b (Section 4.3): memory allocation overhead (many small blocks vs pooled)", rows2)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func writeTSV(dir, name string, res *exper.ScalingResult) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fail(err)
+	}
+	res.WriteTSV(f)
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n\n", filepath.Join(dir, name))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "migbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// migcc is the MigC pre-compiler: it transforms a program into migratable
+// format, reporting migration-unsafe features, the inserted poll-points
+// with their live-variable sets, and the generated Type Information table.
+//
+// Usage:
+//
+//	migcc [flags] program.mc
+//
+// Flags:
+//
+//	-policy loops|entry|none   automatic poll-point policy (default loops)
+//	-funcs a,b,c               restrict automatic insertion to functions
+//	-machine NAME              machine for layout dumps (default ultra5)
+//	-dump-sites                print migration sites and live sets
+//	-dump-ti                   print the TI table with per-machine layout
+//	-dump-layout               print frame layouts per function
+//	-check                     stop after checking (exit 1 on error)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/minic"
+)
+
+func main() {
+	policyName := flag.String("policy", "loops", "poll-point policy: loops, entry, none")
+	funcs := flag.String("funcs", "", "comma-separated functions for automatic insertion")
+	machineName := flag.String("machine", "ultra5", "machine for layout dumps")
+	dumpSites := flag.Bool("dump-sites", false, "print migration sites and live sets")
+	dumpTI := flag.Bool("dump-ti", false, "print the TI table")
+	dumpLayout := flag.Bool("dump-layout", false, "print frame layouts")
+	checkOnly := flag.Bool("check", false, "check only")
+	emit := flag.String("emit", "", "emit transformed source: 'macros' (annotated) or 'source' (re-parsable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: migcc [flags] program.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migcc:", err)
+		os.Exit(1)
+	}
+
+	var policy minic.PollPolicy
+	switch *policyName {
+	case "loops":
+		policy = minic.DefaultPolicy
+	case "entry":
+		policy = minic.PollPolicy{Loops: true, FunctionEntry: true}
+	case "none":
+		policy = minic.PollPolicy{}
+	default:
+		fmt.Fprintf(os.Stderr, "migcc: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	if *funcs != "" {
+		policy.Funcs = strings.Split(*funcs, ",")
+	}
+
+	prog, err := minic.Compile(string(src), policy)
+	if err != nil {
+		if list, ok := err.(minic.ErrorList); ok {
+			for _, e := range list {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), e)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", flag.Arg(0), err)
+		}
+		os.Exit(1)
+	}
+
+	m := arch.Lookup(*machineName)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "migcc: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+
+	switch *emit {
+	case "":
+	case "macros":
+		fmt.Print(minic.Format(prog, true))
+		return
+	case "source":
+		fmt.Print(minic.Format(prog, false))
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "migcc: unknown -emit mode %q\n", *emit)
+		os.Exit(2)
+	}
+
+	if *checkOnly {
+		fmt.Printf("%s: OK (%d functions, %d globals, %d types)\n",
+			flag.Arg(0), len(prog.Funcs), len(prog.Globals), prog.TI.Len())
+		return
+	}
+
+	migratory := 0
+	sites := 0
+	for _, f := range prog.Funcs {
+		if f.Migratory {
+			migratory++
+			sites += len(f.Sites)
+		}
+	}
+	fmt.Printf("%s: migratable format OK\n", flag.Arg(0))
+	fmt.Printf("  functions: %d (%d migratory), migration sites: %d\n",
+		len(prog.Funcs), migratory, sites)
+	fmt.Printf("  globals: %d, TI table: %d types (digest %08x)\n",
+		len(prog.Globals), prog.TI.Len(), prog.TI.Digest())
+
+	if *dumpSites {
+		fmt.Println()
+		fmt.Print(minic.DumpSites(prog))
+	}
+	if *dumpTI {
+		fmt.Println()
+		fmt.Print(prog.TI.Summary(m))
+	}
+	if *dumpLayout {
+		fmt.Println()
+		for _, f := range prog.Funcs {
+			fmt.Printf("frame of %s on %s:\n", f.Name, m.Name)
+			off := 0
+			for _, v := range f.Locals {
+				off = arch.Align(off, v.Type.AlignOf(m))
+				fmt.Printf("  %+4d  %-12s %s\n", off, v.Name, v.Type)
+				off += v.Type.SizeOf(m)
+			}
+			fmt.Printf("  size %d bytes\n", off)
+		}
+	}
+}

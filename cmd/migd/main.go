@@ -1,0 +1,166 @@
+// migd demonstrates real heterogeneous process migration between OS
+// processes over TCP, following the paper's workflow: the migratable
+// program is pre-distributed (both sides read the same source file); the
+// destination daemon is invoked and waits for the execution and memory
+// states; the source process runs until the requested poll-point, collects
+// its state, transmits it, and terminates; the daemon restores the state
+// and resumes execution from the migration point.
+//
+// Destination (start first):
+//
+//	migd serve -addr 127.0.0.1:7464 -machine sparc20 -program prog.mc
+//
+// Source:
+//
+//	migd run -addr 127.0.0.1:7464 -machine dec5000 -program prog.mc -after-polls 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	mode := os.Args[1]
+	fs := flag.NewFlagSet("migd "+mode, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7464", "daemon address")
+	machineName := fs.String("machine", "ultra5", "machine this node simulates")
+	program := fs.String("program", "", "pre-distributed MigC source file")
+	afterPolls := fs.Int("after-polls", 1, "run: migrate at the N-th poll-point")
+	maxSteps := fs.Int64("max-steps", 4_000_000_000, "statement budget")
+	fs.Parse(os.Args[2:])
+
+	if *program == "" {
+		fmt.Fprintln(os.Stderr, "migd: -program is required")
+		os.Exit(2)
+	}
+	m := arch.Lookup(*machineName)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "migd: unknown machine %q\n", *machineName)
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	engine, err := core.NewEngine(string(src), minic.DefaultPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *program, err)
+		os.Exit(1)
+	}
+
+	switch mode {
+	case "serve":
+		serve(engine, m, *addr, *maxSteps)
+	case "run":
+		run(engine, m, *addr, *afterPolls, *maxSteps)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  migd serve -addr HOST:PORT -machine NAME -program FILE
+  migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N`)
+	os.Exit(2)
+}
+
+// serve waits for one migrating process, restores it, and runs it to
+// completion (or to a further migration, which this minimal daemon does
+// not chain).
+func serve(engine *core.Engine, m *arch.Machine, addr string, maxSteps int64) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[migd %s] waiting for migrating process on %s\n", m.Name, addr)
+	conn, err := l.Accept()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	t := link.NewConn(conn)
+	p, timing, err := engine.ReceiveAndRestore(t, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd: restore failed:", err)
+		os.Exit(1)
+	}
+	// Acknowledge so the source may terminate.
+	if err := t.Send([]byte("restored")); err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	t.Close()
+	l.Close()
+	fmt.Printf("[migd %s] restored %d bytes in %.4fs; resuming\n",
+		m.Name, timing.Bytes, timing.Restore.Seconds())
+
+	p.Stdout = os.Stdout
+	p.MaxSteps = maxSteps
+	res, err := p.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[migd %s] process completed with exit code %d\n", m.Name, res.ExitCode)
+	os.Exit(res.ExitCode)
+}
+
+// run executes the program locally until the N-th poll-point, then
+// migrates it to the daemon.
+func run(engine *core.Engine, m *arch.Machine, addr string, afterPolls int, maxSteps int64) {
+	p, err := engine.NewProcess(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	p.Stdout = os.Stdout
+	p.MaxSteps = maxSteps
+	var polls atomic.Int64
+	p.PollHook = func(*vm.Process, *minic.Site) bool {
+		return polls.Add(1) == int64(afterPolls)
+	}
+	res, err := p.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	if !res.Migrated {
+		fmt.Printf("[migd %s] process completed locally with exit code %d (no migration)\n",
+			m.Name, res.ExitCode)
+		os.Exit(res.ExitCode)
+	}
+
+	t, err := link.Dial(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd: cannot reach daemon:", err)
+		os.Exit(1)
+	}
+	timing, err := engine.Send(t, m, res.State)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd: transfer failed:", err)
+		os.Exit(1)
+	}
+	if ack, err := t.Recv(); err != nil || string(ack) != "restored" {
+		fmt.Fprintln(os.Stderr, "migd: destination did not acknowledge:", err)
+		os.Exit(1)
+	}
+	t.Close()
+	fmt.Printf("[migd %s] migrated %d bytes (collect %.4fs, tx %.4fs); terminating\n",
+		m.Name, timing.Bytes, p.CaptureStats().Elapsed.Seconds(), timing.Tx.Seconds())
+}

@@ -1,0 +1,58 @@
+// migstate inspects a saved migration state file (as written by
+// core.Engine.SaveToFile or cmd/migrun's file transport): it verifies the
+// envelope, reports its provenance, and renders the execution and memory
+// state — every frame, live variable, block record, and pointer reference
+// in the machine-independent stream.
+//
+// Usage:
+//
+//	migstate -program prog.mc state.file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+func main() {
+	program := flag.String("program", "", "pre-distributed MigC source the state belongs to")
+	flag.Parse()
+	if *program == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: migstate -program prog.mc state.file")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migstate:", err)
+		os.Exit(1)
+	}
+	engine, err := core.NewEngine(string(src), minic.DefaultPolicy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *program, err)
+		os.Exit(1)
+	}
+	env, err := link.RecvFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migstate:", err)
+		os.Exit(1)
+	}
+	state, srcName, err := engine.Open(env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migstate: envelope:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("envelope: %d bytes, captured on %s, checksum OK, program digest OK\n",
+		len(env), srcName)
+	out, err := vm.DescribeState(engine.Prog, state)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migstate:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

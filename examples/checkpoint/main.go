@@ -1,0 +1,88 @@
+// Checkpoint/restart: the same data collection and restoration machinery
+// that migrates a process also checkpoints it. This example runs a
+// long computation, writes a checkpoint file at a poll-point, "crashes",
+// and then restarts the process from the file — on a machine with a
+// different architecture than the one that wrote the checkpoint.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+const job = `
+	/* accumulate a slowly converging series */
+	double partial;
+	int done_iterations = 0;
+	int main() {
+		int i, target;
+		target = 200000;
+		partial = 0.0;
+		for (i = 1; i <= target; i++) {
+			partial += 1.0 / (1.0 * i * i);
+			done_iterations = i;
+		}
+		printf("sum of 1/n^2 over %d terms = %.6f\n", target, partial);
+		return 0;
+	}
+`
+
+func main() {
+	engine, err := core.NewEngine(job, minic.DefaultPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "checkpoint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "job.ckpt")
+
+	// Phase 1: run on a little-endian machine; checkpoint half-way.
+	p, err := engine.NewProcess(arch.AMD64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Stdout = os.Stdout
+	p.MaxSteps = 100_000_000
+	polls := 0
+	p.PollHook = func(*vm.Process, *minic.Site) bool {
+		polls++
+		return polls == 100_000 // checkpoint at the 100000th iteration
+	}
+	res, err := p.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Migrated {
+		log.Fatal("job finished before the checkpoint fired")
+	}
+	if err := engine.SaveToFile(ckpt, res.State, p.Mach); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(ckpt)
+	fmt.Printf("checkpointed on %s after %d iterations (%d bytes)\n",
+		p.Mach.Name, polls, info.Size())
+	fmt.Println("... simulated crash; process gone ...")
+
+	// Phase 2: restart from the file on a big-endian machine.
+	q, err := engine.RestoreFromFile(ckpt, arch.SPARCV9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q.Stdout = os.Stdout
+	q.MaxSteps = 100_000_000
+	final, err := q.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restarted on %s, completed with exit code %d\n", q.Mach.Name, final.ExitCode)
+}

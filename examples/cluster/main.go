@@ -1,0 +1,73 @@
+// Cluster: the distributed environment of the paper's Section 2. A
+// heterogeneous cluster of simulated machines runs a batch of processes;
+// all start on one overloaded node, and the scheduler rebalances them
+// across the cluster — each process migrates at its next poll-point and
+// completes on its new home.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const worker = `
+	/* a long-running worker: iterative Collatz over a range */
+	int main() {
+		int i, n, steps;
+		steps = 0;
+		for (i = 2; i < 3000; i++) {
+			n = i;
+			while (n != 1) {
+				if (n % 2) { n = 3 * n + 1; } else { n = n / 2; }
+				steps++;
+			}
+		}
+		return steps % 251;
+	}
+`
+
+func main() {
+	prog, err := repro.Compile(worker, repro.PollAtLoops)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := prog.NewCluster(nil)
+	c.AddNode("dec-ultrix", repro.DEC5000)
+	c.AddNode("sparc-solaris", repro.SPARC20)
+	c.AddNode("amd64-linux", repro.AMD64)
+
+	// Overload one node with the whole batch.
+	var handles []*repro.Handle
+	for i := 0; i < 9; i++ {
+		h, err := c.Spawn("dec-ultrix")
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	fmt.Printf("spawned %d processes on dec-ultrix (load %d)\n",
+		len(handles), c.Node("dec-ultrix").Active())
+
+	moved := c.Rebalance(handles)
+	fmt.Printf("scheduler planned %d migrations to balance the load\n", len(moved))
+
+	perNode := map[string]int{}
+	for i, h := range handles {
+		o := h.Wait()
+		if o.Err != nil {
+			log.Fatalf("process %d: %v", i, o.Err)
+		}
+		perNode[o.Node]++
+		if len(o.Migrations) > 0 {
+			m := o.Migrations[0]
+			fmt.Printf("process %d: %s -> %s (%d bytes, total %.4fs), exit %d\n",
+				i, m.From, m.To, m.Timing.Bytes, m.Timing.Total().Seconds(), o.ExitCode)
+		} else {
+			fmt.Printf("process %d: stayed on %s, exit %d\n", i, o.Node, o.ExitCode)
+		}
+	}
+	fmt.Printf("completed per node: %v\n", perNode)
+}

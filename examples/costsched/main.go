@@ -1,0 +1,77 @@
+// Cost-aware scheduling: the migration-decision policy the paper lists as
+// future work. A heterogeneous cluster has a slow loaded node and a fast
+// idle one; the cost model weighs the predicted compute savings against
+// the state transfer time and only migrates when it pays off.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/sched"
+	"repro/internal/vm"
+)
+
+const worker = `
+	int main() {
+		int i, n, steps;
+		steps = 0;
+		for (i = 2; i < 4000; i++) {
+			n = i;
+			while (n != 1) {
+				if (n % 2) { n = 3 * n + 1; } else { n = n / 2; }
+				steps++;
+			}
+		}
+		return steps % 251;
+	}
+`
+
+func main() {
+	engine, err := core.NewEngine(worker, minic.DefaultPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := sched.NewCluster(engine)
+	cluster.Configure = func(p *vm.Process) { p.MaxSteps = 500_000_000 }
+	cluster.AddNode("old-dec", arch.DEC5000)
+	cluster.AddNode("new-amd64", arch.AMD64)
+
+	model := sched.NewCostModel(cluster)
+	model.SetSpec("old-dec", sched.NodeSpec{Speed: 1.0, Link: link.Ethernet100})
+	model.SetSpec("new-amd64", sched.NodeSpec{Speed: 6.0, Link: link.Ethernet100})
+
+	var handles []*sched.Handle
+	for i := 0; i < 4; i++ {
+		h, err := cluster.Spawn("old-dec")
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	fmt.Printf("4 workers on old-dec (speed 1.0); new-amd64 (speed 6.0) idle\n")
+
+	// Each worker has ~10 s of remaining work and ~64 KB of state.
+	for i, h := range handles {
+		d := model.Advise(h, 10*time.Second, 64<<10)
+		fmt.Printf("worker %d: advise migrate=%v target=%s predicted gain=%.2fs\n",
+			i, d.Migrate, d.Target, d.Gain.Seconds())
+		if d.Migrate {
+			h.Migrate(d.Target)
+		}
+	}
+
+	for i, h := range handles {
+		o := h.Wait()
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+		fmt.Printf("worker %d finished on %s after %d migration(s), exit %d\n",
+			i, o.Node, len(o.Migrations), o.ExitCode)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: compile a MigC program into migratable format, run it on a
+// little-endian DEC 5000, migrate it mid-loop to a big-endian SPARC 20,
+// and let it finish there — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+const source = `
+	/* Sum the first 1000 squares, with a poll-point at the loop head
+	   (inserted automatically by the pre-compiler). */
+	int main() {
+		int i;
+		long sum;
+		sum = 0;
+		for (i = 1; i <= 1000; i++) {
+			sum += i * i;
+		}
+		printf("sum of squares = %ld\n", sum);
+		return 0;
+	}
+`
+
+func main() {
+	prog, err := repro.Compile(source, repro.PollAtLoops)
+	if err != nil {
+		log.Fatalf("pre-compile: %v", err)
+	}
+
+	fmt.Printf("migrating from %s to %s...\n", repro.DEC5000, repro.SPARC20)
+	res, err := prog.Migrate(repro.DEC5000, repro.SPARC20, &repro.Options{Stdout: os.Stdout})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	if !res.Migrated {
+		log.Fatal("the program finished before the migration request was served")
+	}
+	fmt.Printf("migrated %d bytes of state: %s\n", res.Timing.Bytes, res.Timing)
+	fmt.Printf("exit code %d on %s\n", res.ExitCode, res.Process.Mach.Name)
+}

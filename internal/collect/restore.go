@@ -1,0 +1,251 @@
+package collect
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/memory"
+	"repro/internal/msr"
+	"repro/internal/types"
+	"repro/internal/xdr"
+)
+
+// RestoreStats decomposes the cost of a restoration in the terms of the
+// paper's Section 4.2: Restore = MSRLT_update + Decode_and_Copy.
+type RestoreStats struct {
+	// UpdateTime is time spent allocating blocks and updating the MSRLT
+	// (only accumulated when instrumented).
+	UpdateTime time.Duration
+	// DecodeTime is time spent converting and copying block contents
+	// (only accumulated when instrumented).
+	DecodeTime time.Duration
+	// Blocks is the number of memory blocks restored.
+	Blocks int64
+	// Allocated is the subset of blocks newly allocated on the heap
+	// (variable blocks already exist in the rebuilt frames).
+	Allocated int64
+	// Pointers is the number of pointer scalars decoded.
+	Pointers int64
+	// DataBytes is the number of content bytes decoded.
+	DataBytes int64
+}
+
+// Restorer rebuilds memory blocks in a destination process from a
+// collection stream. The destination's MSRLT must already contain the
+// global and stack variable blocks (re-registered while reconstructing the
+// execution state); heap blocks are allocated on demand as their records
+// arrive, exactly mirroring the source's traversal.
+type Restorer struct {
+	space *memory.Space
+	table *msr.Table
+	ti    *types.TI
+	mach  *arch.Machine
+	dec   *xdr.Decoder
+
+	restored map[msr.BlockID]bool
+
+	// Instrument enables the fine-grained timing split in Stats.
+	Instrument bool
+	Stats      RestoreStats
+}
+
+// NewRestorer returns a Restorer reading from dec into the destination
+// process state.
+func NewRestorer(space *memory.Space, table *msr.Table, ti *types.TI, dec *xdr.Decoder) *Restorer {
+	return &Restorer{
+		space:    space,
+		table:    table,
+		ti:       ti,
+		mach:     space.Machine(),
+		dec:      dec,
+		restored: make(map[msr.BlockID]bool),
+	}
+}
+
+// RestoreVariable restores the memory block containing the variable at
+// addr (the paper's Restore_variable(&x)). It verifies the stream's
+// reference resolves to the same block the destination laid the variable
+// out in — a cheap consistency check between the two processes.
+func (r *Restorer) RestoreVariable(addr memory.Address) error {
+	got, err := r.restorePointerValue()
+	if err != nil {
+		return err
+	}
+	if got != addr {
+		return fmt.Errorf("collect: restored variable reference %#x does not match destination layout %#x",
+			uint64(got), uint64(addr))
+	}
+	return nil
+}
+
+// RestorePointer decodes one pointer value (the paper's
+// p = Restore_pointer()), restoring the referenced component of the MSR
+// graph if this is its first occurrence, and returns the machine-specific
+// address the pointer takes on the destination.
+func (r *Restorer) RestorePointer() (memory.Address, error) {
+	return r.restorePointerValue()
+}
+
+func (r *Restorer) restorePointerValue() (memory.Address, error) {
+	r.Stats.Pointers++
+	seg, err := r.dec.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if seg == nullSeg {
+		return 0, nil
+	}
+	if seg >= uint32(memory.NumSegments) {
+		return 0, fmt.Errorf("collect: invalid segment %d in stream", seg)
+	}
+	major, err := r.dec.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	minor, err := r.dec.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	ordinal, err := r.dec.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	ref := msr.Ref{
+		ID:      msr.BlockID{Seg: memory.Segment(seg), Major: major, Minor: minor},
+		Ordinal: int(ordinal),
+	}
+	if !r.restored[ref.ID] {
+		r.restored[ref.ID] = true
+		if err := r.restoreBlock(ref.ID); err != nil {
+			return 0, err
+		}
+	}
+	return msr.AddrOf(r.table, r.mach, ref)
+}
+
+// restoreBlock consumes one block record: resolves or allocates the block,
+// then fills its contents through the type-specific restoring plan.
+func (r *Restorer) restoreBlock(id msr.BlockID) error {
+	tIdx, err := r.dec.Uint32()
+	if err != nil {
+		return err
+	}
+	count, err := r.dec.Uint32()
+	if err != nil {
+		return err
+	}
+	ty, err := r.ti.At(int(tIdx))
+	if err != nil {
+		return err
+	}
+
+	var start time.Time
+	if r.Instrument {
+		start = time.Now()
+	}
+	b, ok := r.table.ByID(id)
+	switch {
+	case ok:
+		// A variable block laid out during execution-state
+		// reconstruction. Its shape must agree with the stream.
+		if b.Type != ty || b.Count != int(count) {
+			return fmt.Errorf("collect: block %s shape mismatch: stream %s x%d, destination %s x%d",
+				id, ty, count, b.Type, b.Count)
+		}
+	case id.Seg == memory.Heap:
+		addr, err := r.space.Malloc(int(count) * ty.SizeOf(r.mach))
+		if err != nil {
+			return err
+		}
+		b = &msr.Block{ID: id, Addr: addr, Type: ty, Count: int(count)}
+		if err := r.table.Register(b); err != nil {
+			return err
+		}
+		r.table.RestoreFloor(id)
+		r.Stats.Allocated++
+	default:
+		return fmt.Errorf("collect: stream references unknown %s block %s", id.Seg, id)
+	}
+	if r.Instrument {
+		r.Stats.UpdateTime += time.Since(start)
+	}
+	r.Stats.Blocks++
+
+	plan := r.ti.Plan(ty, r.mach)
+	es := ty.SizeOf(r.mach)
+	for elem := 0; elem < b.Count; elem++ {
+		if err := r.restoreOps(plan.Ops, b.Addr+memory.Address(elem*es)); err != nil {
+			return fmt.Errorf("collect: restoring block %s element %d: %w", id, elem, err)
+		}
+	}
+	return nil
+}
+
+// restoreOps mirrors Saver.saveOps.
+func (r *Restorer) restoreOps(ops []types.PlanOp, base memory.Address) error {
+	for _, op := range ops {
+		switch {
+		case op.Sub != nil:
+			for i := 0; i < op.Count; i++ {
+				if err := r.restoreOps(op.Sub, base+memory.Address(op.Off+i*op.Stride)); err != nil {
+					return err
+				}
+			}
+		case op.Kind == arch.Ptr:
+			for i := 0; i < op.Count; i++ {
+				val, err := r.restorePointerValue()
+				if err != nil {
+					return err
+				}
+				if err := r.space.StorePtr(base+memory.Address(op.Off+i*op.Stride), val); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := r.restoreRun(op, base); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// restoreRun mirrors Saver.saveRun: canonical wire scalars are converted to
+// the destination machine representation and copied into place.
+func (r *Restorer) restoreRun(op types.PlanOp, base memory.Address) error {
+	var start time.Time
+	if r.Instrument {
+		start = time.Now()
+	}
+	m := r.mach
+	size := m.SizeOf(op.Kind)
+	ws := wireSize(op.Kind)
+	in, err := r.dec.Take(ws * op.Count)
+	if err != nil {
+		return err
+	}
+	if op.Stride == size {
+		dst, err := r.space.Bytes(base+memory.Address(op.Off), size*op.Count)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < op.Count; i++ {
+			v := getBE(in[i*ws:i*ws+ws], ws)
+			m.PutPrim(dst[i*size:], op.Kind, v)
+		}
+	} else {
+		for i := 0; i < op.Count; i++ {
+			dst, err := r.space.Bytes(base+memory.Address(op.Off+i*op.Stride), size)
+			if err != nil {
+				return err
+			}
+			m.PutPrim(dst, op.Kind, getBE(in[i*ws:i*ws+ws], ws))
+		}
+	}
+	r.Stats.DataBytes += int64(ws * op.Count)
+	if r.Instrument {
+		r.Stats.DecodeTime += time.Since(start)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDedupAblation(t *testing.T) {
+	rows, err := DedupAblation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	on, off := rows[0], rows[1]
+	// Without visit marking, the diamond DAG stream explodes.
+	if off.Value < 20*on.Value {
+		t.Errorf("ablated stream %.0f bytes vs %.0f: blowup not visible", off.Value, on.Value)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, "D1", rows)
+	if !strings.Contains(buf.String(), "visit marking") {
+		t.Error("render problem")
+	}
+}
+
+func TestMSRLTIndexAblation(t *testing.T) {
+	rows, err := MSRLTIndexAblation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	search, hash := rows[0], rows[1]
+	if search.Value == 0 {
+		t.Error("binary-search configuration recorded no steps")
+	}
+	// The hash index should eliminate nearly all search steps for
+	// bitonic (all pointers target block bases).
+	if hash.Value*10 > search.Value {
+		t.Errorf("hash residual steps %.0f vs search %.0f", hash.Value, search.Value)
+	}
+}
+
+func TestPointerEncodingCost(t *testing.T) {
+	rows, err := PointerEncodingCost(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	total, data, refs := rows[0].Value, rows[1].Value, rows[2].Value
+	if data+refs > total {
+		t.Errorf("composition exceeds total: %f + %f > %f", data, refs, total)
+	}
+	// Bitonic is pointer-heavy: refs must be a visible share.
+	if refs < total/10 {
+		t.Errorf("pointer refs = %.0f of %.0f total; expected a visible share", refs, total)
+	}
+}
+
+func TestChainExperiment(t *testing.T) {
+	r, err := Chain(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Errorf("chain self-check failed: exit %d", r.ExitCode)
+	}
+	if len(r.Hops) != 6 { // 7 machines, 6 hops
+		t.Errorf("hops = %d", len(r.Hops))
+	}
+	var buf bytes.Buffer
+	PrintChain(&buf, r)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,112 @@
+package exper
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// ChainHop documents one hop of a migration chain.
+type ChainHop struct {
+	From, To   string
+	StateBytes int
+}
+
+// ChainResult is the outcome of the E7 extension experiment.
+type ChainResult struct {
+	Program  string
+	Hops     []ChainHop
+	ExitCode int
+	OK       bool
+}
+
+// Chain is the generality extension (E7): a single process migrates
+// through every registered platform in turn — seven machines spanning
+// both endiannesses and both data models — and then verifies its own data
+// structures. The paper claims the method is general; one process
+// surviving LE32 -> BE32 -> BE32 -> LE32 -> LE64 -> BE64 -> LE64 with all
+// pointers intact is a stronger version of the Section 4.1 experiment.
+func Chain(cfg Config) (*ChainResult, error) {
+	treeDepth := 9
+	if cfg.Quick {
+		treeDepth = 5
+	}
+	e, err := core.NewEngine(workload.TestPointerSource(treeDepth), minic.PollPolicy{})
+	if err != nil {
+		return nil, err
+	}
+
+	// test_pointer has a single migration point, so chain hops restart
+	// the process state each time: run to the poll, hop through every
+	// machine, then resume on the last.
+	machines := arch.Machines()
+	p, err := e.NewProcess(machines[0])
+	if err != nil {
+		return nil, err
+	}
+	p.MaxSteps = maxSteps
+	var req core.Request
+	req.Raise()
+	p.PollHook = req.Hook()
+	res, err := p.Run()
+	if err != nil {
+		return nil, err
+	}
+	if !res.Migrated {
+		return nil, fmt.Errorf("exper: chain program did not reach its migration point")
+	}
+
+	result := &ChainResult{Program: fmt.Sprintf("test_pointer depth %d", treeDepth)}
+	state := res.State
+	cur := machines[0]
+	var q *vm.Process
+	for _, m := range machines[1:] {
+		q, err = vm.RestoreProcess(e.Prog, m, state)
+		if err != nil {
+			return nil, fmt.Errorf("exper: hop %s -> %s: %w", cur.Name, m.Name, err)
+		}
+		result.Hops = append(result.Hops, ChainHop{From: cur.Name, To: m.Name, StateBytes: len(state)})
+		cur = m
+		if m == machines[len(machines)-1] {
+			break
+		}
+		// Re-capture on the new machine for the next hop: the state is
+		// re-encoded from the new layout, so each hop exercises a
+		// different source representation.
+		state, err = q.Recapture()
+		if err != nil {
+			return nil, fmt.Errorf("exper: recapture on %s: %w", m.Name, err)
+		}
+	}
+	q.MaxSteps = maxSteps
+	final, err := q.Run()
+	if err != nil {
+		return nil, err
+	}
+	result.ExitCode = final.ExitCode
+	result.OK = final.ExitCode == 0
+	return result, nil
+}
+
+// PrintChain renders E7.
+func PrintChain(w io.Writer, r *ChainResult) {
+	t := stats.Table{
+		Title:   "E7 (extension): one process migrated through every platform, then self-verified",
+		Headers: []string{"Hop", "From", "To", "State bytes"},
+	}
+	for i, h := range r.Hops {
+		t.AddRow(i+1, h.From, h.To, h.StateBytes)
+	}
+	fmt.Fprintln(w, t.String())
+	verdict := "PASS"
+	if !r.OK {
+		verdict = fmt.Sprintf("FAIL (exit %d)", r.ExitCode)
+	}
+	fmt.Fprintf(w, "%s after %d hops: %s\n\n", r.Program, len(r.Hops), verdict)
+}

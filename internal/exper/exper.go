@@ -1,0 +1,619 @@
+// Package exper implements the paper's evaluation: one function per table
+// or figure of Section 4, shared by the migbench command and the
+// bench_test harness. The experiment index lives in DESIGN.md; measured
+// results and their comparison against the paper are recorded in
+// EXPERIMENTS.md.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks problem sizes for test runs; full sizes match the
+	// paper's evaluation.
+	Quick bool
+	// Repeats is the min-of-N timing repetition count (default 3).
+	Repeats int
+}
+
+func (c Config) repeats() int {
+	if c.Repeats <= 0 {
+		return 3
+	}
+	return c.Repeats
+}
+
+const maxSteps = 4_000_000_000
+
+// stopAtMigration runs the program on m until its migration point and
+// returns the stopped process plus its captured state.
+func stopAtMigration(e *core.Engine, m *arch.Machine) (*vm.Process, []byte, error) {
+	p, err := e.NewProcess(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.MaxSteps = maxSteps
+	var req core.Request
+	req.Raise()
+	p.PollHook = req.Hook()
+	res, err := p.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Migrated {
+		return nil, nil, fmt.Errorf("exper: program completed without migrating")
+	}
+	return p, res.State, nil
+}
+
+// timeCollect measures data collection time (min of repeats) on a stopped
+// process.
+func timeCollect(p *vm.Process, repeats int) (time.Duration, int, error) {
+	var failure error
+	size := 0
+	runtime.GC() // keep collector pauses out of the min-of-N window
+	d := stats.Repeat(repeats, func() {
+		st, err := p.Recapture()
+		if err != nil {
+			failure = err
+			return
+		}
+		size = len(st)
+	})
+	return d, size, failure
+}
+
+// timeRestore measures data restoration time (min of repeats).
+func timeRestore(e *core.Engine, m *arch.Machine, state []byte, repeats int) (time.Duration, error) {
+	var failure error
+	// Untimed warmup, then a collection cycle, so Go allocator and GC
+	// transients stay out of the min-of-N window.
+	if _, err := vm.RestoreProcess(e.Prog, m, state); err != nil {
+		return 0, err
+	}
+	runtime.GC()
+	d := stats.Repeat(repeats, func() {
+		if _, err := vm.RestoreProcess(e.Prog, m, state); err != nil {
+			failure = err
+		}
+	})
+	return d, failure
+}
+
+// ---------------------------------------------------------------------
+// E1 — Section 4.1: heterogeneity validation.
+// ---------------------------------------------------------------------
+
+// HeteroRow is one program's heterogeneous migration result.
+type HeteroRow struct {
+	Program    string
+	Src, Dst   string
+	StateBytes int
+	ExitCode   int
+	OK         bool
+}
+
+// Heterogeneity migrates the three evaluation programs from a DEC 5000
+// (little-endian Ultrix) image to a SPARC 20 (big-endian Solaris) image
+// and lets each verify its own data structures after restoration.
+func Heterogeneity(cfg Config) ([]HeteroRow, error) {
+	treeDepth, linpackN, bitonicN := 10, 100, 5000
+	if cfg.Quick {
+		treeDepth, linpackN, bitonicN = 6, 40, 500
+	}
+	programs := []struct {
+		name string
+		src  string
+	}{
+		{"test_pointer", workload.TestPointerSource(treeDepth)},
+		{fmt.Sprintf("linpack %dx%d", linpackN, linpackN), workload.LinpackSource(linpackN, true)},
+		{fmt.Sprintf("bitonic %d", bitonicN), workload.BitonicSource(bitonicN, 20010415)},
+	}
+	var rows []HeteroRow
+	for _, pr := range programs {
+		e, err := core.NewEngine(pr.src, minic.PollPolicy{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pr.name, err)
+		}
+		res, err := e.RunWithMigration(arch.DEC5000, arch.SPARC20, func(p *vm.Process) {
+			p.MaxSteps = maxSteps
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pr.name, err)
+		}
+		rows = append(rows, HeteroRow{
+			Program:    pr.name,
+			Src:        arch.DEC5000.Name,
+			Dst:        arch.SPARC20.Name,
+			StateBytes: res.Timing.Bytes,
+			ExitCode:   res.ExitCode,
+			OK:         res.Migrated && res.ExitCode == 0,
+		})
+	}
+	return rows, nil
+}
+
+// PrintHeterogeneity renders E1 like the paper's Section 4.1 narrative.
+func PrintHeterogeneity(w io.Writer, rows []HeteroRow) {
+	t := stats.Table{
+		Title:   "E1 (Section 4.1): heterogeneous migration DEC 5000/Ultrix (LE) -> SPARC 20/Solaris (BE)",
+		Headers: []string{"Program", "State bytes", "Self-check", "Result"},
+	}
+	for _, r := range rows {
+		verdict := "PASS"
+		if !r.OK {
+			verdict = fmt.Sprintf("FAIL (code %d)", r.ExitCode)
+		}
+		t.AddRow(r.Program, r.StateBytes, fmt.Sprintf("exit %d", r.ExitCode), verdict)
+	}
+	fmt.Fprintln(w, t.String())
+}
+
+// ---------------------------------------------------------------------
+// E2 — Table 1: migration time decomposition on the homogeneous pair.
+// ---------------------------------------------------------------------
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Program string
+	Collect time.Duration
+	Tx      time.Duration
+	Restore time.Duration
+	Bytes   int
+}
+
+// Table1 reproduces the paper's Table 1: linpack 1000x1000 and bitonic
+// 100000 migrating between two Ultra 5 machines over 100 Mb/s Ethernet.
+// Collection and restoration run on the real implementation; the wire
+// time uses the calibrated 100 Mb/s link model (the paper's hardware).
+func Table1(cfg Config) ([]Table1Row, error) {
+	linpackN, bitonicN := 1000, 100000
+	if cfg.Quick {
+		linpackN, bitonicN = 200, 5000
+	}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{fmt.Sprintf("Linpack %dx%d", linpackN, linpackN), workload.LinpackSource(linpackN, false)},
+		{fmt.Sprintf("bitonic %d", bitonicN), workload.BitonicSource(bitonicN, 19991231)},
+	}
+	var rows []Table1Row
+	for _, c := range cases {
+		e, err := core.NewEngine(c.src, minic.PollPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		p, state, err := stopAtMigration(e, arch.Ultra5)
+		if err != nil {
+			return nil, err
+		}
+		collect, size, err := timeCollect(p, cfg.repeats())
+		if err != nil {
+			return nil, err
+		}
+		restore, err := timeRestore(e, arch.Ultra5, state, cfg.repeats())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table1Row{
+			Program: c.name,
+			Collect: collect,
+			Tx:      link.Ethernet100.TxTime(size),
+			Restore: restore,
+			Bytes:   size,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders E2 in the paper's format.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	t := stats.Table{
+		Title:   "E2 (Table 1): timing results (in seconds), Ultra 5 -> Ultra 5, 100 Mb/s Ethernet",
+		Headers: []string{"Programs", "Collect", "Tx", "Restore", "Bytes"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Program, r.Collect, r.Tx, r.Restore, r.Bytes)
+	}
+	fmt.Fprintln(w, t.String())
+}
+
+// ---------------------------------------------------------------------
+// E3 / E4 — Figure 2: collection and restoration time scaling.
+// ---------------------------------------------------------------------
+
+// ScalingPoint is one x position of a Figure 2 curve.
+type ScalingPoint struct {
+	// N is the problem size (matrix order, or numbers sorted).
+	N int
+	// Bytes is the migrated data size (the x axis of Figure 2a).
+	Bytes int
+	// Blocks is the MSR node count.
+	Blocks  int64
+	Collect time.Duration
+	Restore time.Duration
+	// SearchSteps is the MSRLT binary-search work during collection.
+	SearchSteps int64
+}
+
+// ScalingResult holds one experiment's sweep.
+type ScalingResult struct {
+	Name   string
+	Points []ScalingPoint
+}
+
+// Fig2aLinpack reproduces Figure 2(a): linpack collection/restoration
+// time as a function of migrated data size, for matrices 100..1000
+// (0.08 MB to 8 MB of doubles, as in the paper).
+func Fig2aLinpack(cfg Config) (*ScalingResult, error) {
+	sizes := []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	if cfg.Quick {
+		sizes = []int{50, 100, 150, 200}
+	}
+	out := &ScalingResult{Name: "linpack"}
+	for _, n := range sizes {
+		pt, err := scalingPoint(workload.LinpackSource(n, false), n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("linpack %d: %w", n, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Fig2bBitonic reproduces Figure 2(b): bitonic collection/restoration
+// time as a function of the number of integers sorted.
+func Fig2bBitonic(cfg Config) (*ScalingResult, error) {
+	sizes := []int{10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000}
+	if cfg.Quick {
+		sizes = []int{1000, 2000, 3000, 4000}
+	}
+	out := &ScalingResult{Name: "bitonic"}
+	for _, n := range sizes {
+		pt, err := scalingPoint(workload.BitonicSource(n, 8151), n, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bitonic %d: %w", n, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+func scalingPoint(src string, n int, cfg Config) (ScalingPoint, error) {
+	e, err := core.NewEngine(src, minic.PollPolicy{})
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	p, state, err := stopAtMigration(e, arch.Ultra5)
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	collect, size, err := timeCollect(p, cfg.repeats())
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	restore, err := timeRestore(e, arch.Ultra5, state, cfg.repeats())
+	if err != nil {
+		return ScalingPoint{}, err
+	}
+	st := p.CaptureStats()
+	return ScalingPoint{
+		N:           n,
+		Bytes:       size,
+		Blocks:      st.Save.Blocks,
+		Collect:     collect,
+		Restore:     restore,
+		SearchSteps: st.Save.SearchSteps,
+	}, nil
+}
+
+// WriteTSV emits the sweep as tab-separated data, one row per point,
+// ready for gnuplot/matplotlib to regenerate the paper's figure.
+func (r *ScalingResult) WriteTSV(w io.Writer) {
+	fmt.Fprintln(w, "n\tbytes\tblocks\tcollect_s\trestore_s\tsearch_steps")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.6f\t%.6f\t%d\n",
+			p.N, p.Bytes, p.Blocks, p.Collect.Seconds(), p.Restore.Seconds(), p.SearchSteps)
+	}
+}
+
+// PrintScaling renders a Figure 2 sweep as a table of series points.
+func PrintScaling(w io.Writer, title string, r *ScalingResult) {
+	t := stats.Table{
+		Title:   title,
+		Headers: []string{"N", "Data bytes", "MSR blocks", "Collect (s)", "Restore (s)", "Search steps"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.N, p.Bytes, p.Blocks, p.Collect, p.Restore, p.SearchSteps)
+	}
+	fmt.Fprintln(w, t.String())
+}
+
+// CollectSeries returns (bytes, collect-seconds) observations.
+func (r *ScalingResult) CollectSeries() *stats.Series {
+	s := &stats.Series{Name: r.Name + " collect"}
+	for _, p := range r.Points {
+		s.Add(float64(p.Bytes), p.Collect.Seconds())
+	}
+	return s
+}
+
+// RestoreSeries returns (bytes, restore-seconds) observations.
+func (r *ScalingResult) RestoreSeries() *stats.Series {
+	s := &stats.Series{Name: r.Name + " restore"}
+	for _, p := range r.Points {
+		s.Add(float64(p.Bytes), p.Restore.Seconds())
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// E5 — Section 4.2: cost decomposition of collection and restoration.
+// ---------------------------------------------------------------------
+
+// BreakdownRow decomposes one program's migration cost in the terms of
+// the paper's complexity model.
+type BreakdownRow struct {
+	Program string
+	Blocks  int64
+	Bytes   int
+	// Collection = MSRLT search + encode/copy.
+	SearchTime time.Duration
+	EncodeTime time.Duration
+	// Restoration = MSRLT update + decode/copy.
+	UpdateTime time.Duration
+	DecodeTime time.Duration
+
+	SearchSteps int64
+}
+
+// Breakdown instruments collection and restoration of a linpack image
+// (few large blocks) and a bitonic image (many small blocks), showing
+// where the time goes: linpack cost is dominated by encode/copy of the
+// matrix bytes, while bitonic pays a visible MSRLT search share that the
+// restoration side does not (restores resolve identifications in constant
+// time per block).
+func Breakdown(cfg Config) ([]BreakdownRow, error) {
+	linpackN, bitonicN := 500, 50000
+	if cfg.Quick {
+		linpackN, bitonicN = 100, 4000
+	}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{fmt.Sprintf("linpack %dx%d", linpackN, linpackN), workload.LinpackSource(linpackN, false)},
+		{fmt.Sprintf("bitonic %d", bitonicN), workload.BitonicSource(bitonicN, 271828)},
+	}
+	var rows []BreakdownRow
+	for _, c := range cases {
+		e, err := core.NewEngine(c.src, minic.PollPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		p, err := e.NewProcess(arch.Ultra5)
+		if err != nil {
+			return nil, err
+		}
+		p.MaxSteps = maxSteps
+		p.Instrument = true
+		var req core.Request
+		req.Raise()
+		p.PollHook = req.Hook()
+		res, err := p.Run()
+		if err != nil {
+			return nil, err
+		}
+		if !res.Migrated {
+			return nil, fmt.Errorf("exper: %s did not migrate", c.name)
+		}
+		// Recapture once more so the timing excludes cold caches.
+		if _, err := p.Recapture(); err != nil {
+			return nil, err
+		}
+		cs := p.CaptureStats()
+
+		restored, err := restoreInstrumented(e, arch.Ultra5, res.State)
+		if err != nil {
+			return nil, err
+		}
+		rs := restored.RestoreStatsOf()
+		rows = append(rows, BreakdownRow{
+			Program:     c.name,
+			Blocks:      cs.Save.Blocks,
+			Bytes:       cs.Bytes,
+			SearchTime:  cs.Save.SearchTime,
+			EncodeTime:  cs.Save.EncodeTime,
+			UpdateTime:  rs.UpdateTime,
+			DecodeTime:  rs.DecodeTime,
+			SearchSteps: cs.Save.SearchSteps,
+		})
+	}
+	return rows, nil
+}
+
+// restoreInstrumented restores a state with instrumentation enabled.
+func restoreInstrumented(e *core.Engine, m *arch.Machine, state []byte) (*vm.Process, error) {
+	p, err := e.NewProcess(m)
+	if err != nil {
+		return nil, err
+	}
+	p.Instrument = true
+	return p, p.RestoreInto(state)
+}
+
+// PrintBreakdown renders E5.
+func PrintBreakdown(w io.Writer, rows []BreakdownRow) {
+	t := stats.Table{
+		Title:   "E5 (Section 4.2): cost decomposition — Collect = MSRLT_search + Encode&Copy; Restore = MSRLT_update + Decode&Copy",
+		Headers: []string{"Program", "Blocks", "Bytes", "Search (s)", "Encode (s)", "Update (s)", "Decode (s)", "Search steps"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Program, r.Blocks, r.Bytes, r.SearchTime, r.EncodeTime, r.UpdateTime, r.DecodeTime, r.SearchSteps)
+	}
+	fmt.Fprintln(w, t.String())
+}
+
+// ---------------------------------------------------------------------
+// E6 — Section 4.3: execution overhead of the annotation.
+// ---------------------------------------------------------------------
+
+// OverheadRow compares one configuration against the unannotated
+// baseline.
+type OverheadRow struct {
+	Config     string
+	Elapsed    time.Duration
+	PollChecks int64
+	MSRLTOps   int64
+	// OverheadPct is relative to the first (baseline) row of its group.
+	OverheadPct float64
+}
+
+// PollPlacementOverhead reproduces the first Section 4.3 observation:
+// the overhead is high when poll-points sit inside a small kernel invoked
+// many times, and low when they are placed in the outer loop.
+func PollPlacementOverhead(cfg Config) ([]OverheadRow, error) {
+	outer, inner := 20000, 40
+	if cfg.Quick {
+		outer, inner = 2000, 40
+	}
+	src := workload.KernelOverheadSource(outer, inner)
+	configs := []struct {
+		name    string
+		policy  minic.PollPolicy
+		disable bool
+	}{
+		{"unannotated (baseline)", minic.PollPolicy{}, true},
+		{"poll at outer loop only", minic.PollPolicy{Loops: true, Funcs: []string{"main"}}, false},
+		{"poll inside kernel loop", minic.DefaultPolicy, false},
+	}
+	var rows []OverheadRow
+	var base time.Duration
+	for i, c := range configs {
+		e, err := core.NewEngine(src, c.policy)
+		if err != nil {
+			return nil, err
+		}
+		var proc *vm.Process
+		elapsed := stats.Repeat(cfg.repeats(), func() {
+			p, err := e.NewProcess(arch.Ultra5)
+			if err != nil {
+				return
+			}
+			p.MaxSteps = maxSteps
+			p.DisableMigration = c.disable
+			if !c.disable {
+				p.PollHook = func(*vm.Process, *minic.Site) bool { return false }
+			}
+			if _, err := p.Run(); err != nil {
+				return
+			}
+			proc = p
+		})
+		if proc == nil {
+			return nil, fmt.Errorf("exper: overhead run failed for %s", c.name)
+		}
+		if i == 0 {
+			base = elapsed
+		}
+		pct := 0.0
+		if base > 0 {
+			pct = 100 * (elapsed.Seconds() - base.Seconds()) / base.Seconds()
+		}
+		rows = append(rows, OverheadRow{
+			Config:      c.name,
+			Elapsed:     elapsed,
+			PollChecks:  proc.Stats.PollChecks,
+			MSRLTOps:    proc.Stats.MSRLTOps,
+			OverheadPct: pct,
+		})
+	}
+	return rows, nil
+}
+
+// AllocationOverhead reproduces the second Section 4.3 observation: many
+// small repeatedly allocated blocks grow the MSRLT and cost run time; a
+// smart (pooled) allocation policy avoids it.
+func AllocationOverhead(cfg Config) ([]OverheadRow, error) {
+	blocks := 20000
+	if cfg.Quick {
+		blocks = 2000
+	}
+	configs := []struct {
+		name    string
+		src     string
+		disable bool
+	}{
+		{"per-block malloc, unannotated (baseline)", workload.AllocOverheadSource(blocks, false), true},
+		{"per-block malloc, annotated", workload.AllocOverheadSource(blocks, false), false},
+		{"pooled arena, annotated", workload.AllocOverheadSource(blocks, true), false},
+	}
+	var rows []OverheadRow
+	var base time.Duration
+	for i, c := range configs {
+		e, err := core.NewEngine(c.src, minic.DefaultPolicy)
+		if err != nil {
+			return nil, err
+		}
+		var proc *vm.Process
+		elapsed := stats.Repeat(cfg.repeats(), func() {
+			p, err := e.NewProcess(arch.Ultra5)
+			if err != nil {
+				return
+			}
+			p.MaxSteps = maxSteps
+			p.DisableMigration = c.disable
+			if !c.disable {
+				p.PollHook = func(*vm.Process, *minic.Site) bool { return false }
+			}
+			if _, err := p.Run(); err != nil {
+				return
+			}
+			proc = p
+		})
+		if proc == nil {
+			return nil, fmt.Errorf("exper: allocation run failed for %s", c.name)
+		}
+		if i == 0 {
+			base = elapsed
+		}
+		pct := 0.0
+		if base > 0 {
+			pct = 100 * (elapsed.Seconds() - base.Seconds()) / base.Seconds()
+		}
+		rows = append(rows, OverheadRow{
+			Config:      c.name,
+			Elapsed:     elapsed,
+			PollChecks:  proc.Stats.PollChecks,
+			MSRLTOps:    proc.Stats.MSRLTOps,
+			OverheadPct: pct,
+		})
+	}
+	return rows, nil
+}
+
+// PrintOverhead renders an E6 group.
+func PrintOverhead(w io.Writer, title string, rows []OverheadRow) {
+	t := stats.Table{
+		Title:   title,
+		Headers: []string{"Configuration", "Time (s)", "Poll checks", "MSRLT ops", "Overhead %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Config, r.Elapsed, r.PollChecks, r.MSRLTOps, fmt.Sprintf("%+.1f", r.OverheadPct))
+	}
+	fmt.Fprintln(w, t.String())
+}

@@ -1,0 +1,293 @@
+// Package link is the first layer of the paper's four-layer data transfer
+// stack: the basic communication utilities that carry migration information
+// from the source machine to the destination machine.
+//
+// Three transports are provided:
+//
+//   - Pipe: an in-memory connected pair, for tests and single-process
+//     experiments;
+//   - TCP: real sockets with length-and-checksum framing, used by the
+//     node daemon (the paper sent state over TCP between workstations);
+//   - file transfer via SendFile/RecvFile, the paper's shared-file-system
+//     alternative.
+//
+// In addition, Model describes a calibrated network link (bandwidth +
+// latency). The paper's Table 1 transmission column is dominated by wire
+// time on a 100 Mb/s Ethernet; Model reproduces that column for hardware we
+// do not have, while the TCP transport demonstrates the real protocol.
+package link
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"time"
+)
+
+// Transport carries framed messages between two endpoints.
+type Transport interface {
+	// Send transmits one message.
+	Send(payload []byte) error
+	// Recv blocks for the next message.
+	Recv() ([]byte, error)
+	// Close releases the endpoint; a blocked Recv on the peer fails.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("link: transport closed")
+
+// maxFrame bounds a frame to guard against corrupt length prefixes.
+const maxFrame = 1 << 30
+
+// Pipe returns two connected in-memory endpoints. Messages sent on one are
+// received on the other, in order.
+func Pipe() (Transport, Transport) {
+	ab := make(chan []byte, 16)
+	ba := make(chan []byte, 16)
+	done := make(chan struct{})
+	a := &pipeEnd{send: ab, recv: ba, done: done}
+	b := &pipeEnd{send: ba, recv: ab, done: done}
+	return a, b
+}
+
+type pipeEnd struct {
+	send chan []byte
+	recv chan []byte
+	done chan struct{}
+}
+
+func (p *pipeEnd) Send(payload []byte) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	msg := make([]byte, len(payload))
+	copy(msg, payload)
+	select {
+	case p.send <- msg:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+func (p *pipeEnd) Recv() ([]byte, error) {
+	select {
+	case msg := <-p.recv:
+		return msg, nil
+	case <-p.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-p.recv:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (p *pipeEnd) Close() error {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+	return nil
+}
+
+// frame layout: 4-byte big-endian length, 4-byte CRC-32 (IEEE) of the
+// payload, then the payload bytes.
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one framed message from r, verifying its checksum.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("link: frame length %d exceeds limit", n)
+	}
+	sum := binary.BigEndian.Uint32(hdr[4:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, errors.New("link: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Conn wraps a net.Conn (or any ReadWriteCloser) as a Transport.
+type Conn struct {
+	rwc io.ReadWriteCloser
+}
+
+// NewConn wraps an established connection.
+func NewConn(rwc io.ReadWriteCloser) *Conn { return &Conn{rwc: rwc} }
+
+// Dial connects to a listening peer at addr (host:port).
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Send implements Transport.
+func (c *Conn) Send(payload []byte) error { return WriteFrame(c.rwc, payload) }
+
+// Recv implements Transport.
+func (c *Conn) Recv() ([]byte, error) { return ReadFrame(c.rwc) }
+
+// Close implements Transport.
+func (c *Conn) Close() error { return c.rwc.Close() }
+
+// SendFile writes one framed message to a file, the shared-file-system
+// transfer mode.
+func SendFile(path string, payload []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(f, payload); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RecvFile reads one framed message from a file.
+func RecvFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrame(f)
+}
+
+// LoopbackPair builds a connected TCP transport pair over the loopback
+// interface, for benchmarks and tests that want real sockets.
+func LoopbackPair() (srv, cli Transport, cleanup func(), err error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	accepted := make(chan net.Conn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		accepted <- c
+	}()
+	cc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		l.Close()
+		return nil, nil, nil, err
+	}
+	select {
+	case sc := <-accepted:
+		s, c := NewConn(sc), NewConn(cc)
+		return s, c, func() { s.Close(); c.Close(); l.Close() }, nil
+	case err := <-errc:
+		cc.Close()
+		l.Close()
+		return nil, nil, nil, err
+	}
+}
+
+// Model is a calibrated point-to-point link used to reproduce the paper's
+// transmission times analytically.
+type Model struct {
+	Name string
+	// BitsPerSecond is the raw link bandwidth.
+	BitsPerSecond float64
+	// Latency is the per-message fixed cost (propagation plus protocol
+	// setup).
+	Latency time.Duration
+	// Efficiency is the achievable fraction of raw bandwidth (protocol
+	// overheads); 1.0 means line rate.
+	Efficiency float64
+}
+
+// Links used in the paper's evaluation.
+var (
+	// Ethernet10 is the 10 Mbit/s Ethernet connecting the DEC 5000 and
+	// the SPARC 20 in the heterogeneity experiment.
+	Ethernet10 = Model{Name: "10Mb/s Ethernet", BitsPerSecond: 10e6, Latency: 2 * time.Millisecond, Efficiency: 0.75}
+	// Ethernet100 is the 100 Mbit/s Ethernet connecting the two Ultra 5
+	// workstations in Table 1 and Figure 2.
+	Ethernet100 = Model{Name: "100Mb/s Ethernet", BitsPerSecond: 100e6, Latency: 1 * time.Millisecond, Efficiency: 0.8}
+)
+
+// TxTime returns the modelled transmission time for n bytes.
+func (m Model) TxTime(n int) time.Duration {
+	if m.BitsPerSecond <= 0 {
+		return m.Latency
+	}
+	eff := m.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	secs := float64(n*8) / (m.BitsPerSecond * eff)
+	return m.Latency + time.Duration(secs*float64(time.Second))
+}
+
+// Measured wraps a Transport, recording bytes and wall time per direction.
+type Measured struct {
+	T Transport
+
+	BytesSent     int64
+	BytesReceived int64
+	SendTime      time.Duration
+	RecvTime      time.Duration
+}
+
+// Send implements Transport.
+func (m *Measured) Send(payload []byte) error {
+	start := time.Now()
+	err := m.T.Send(payload)
+	m.SendTime += time.Since(start)
+	if err == nil {
+		m.BytesSent += int64(len(payload))
+	}
+	return err
+}
+
+// Recv implements Transport.
+func (m *Measured) Recv() ([]byte, error) {
+	start := time.Now()
+	b, err := m.T.Recv()
+	m.RecvTime += time.Since(start)
+	if err == nil {
+		m.BytesReceived += int64(len(b))
+	}
+	return b, err
+}
+
+// Close implements Transport.
+func (m *Measured) Close() error { return m.T.Close() }

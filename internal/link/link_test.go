@@ -1,0 +1,233 @@
+package link
+
+import (
+	"bytes"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	msgs := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	for _, m := range msgs {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPipeCopiesPayload(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	buf := []byte("mutable")
+	a.Send(buf)
+	buf[0] = 'X'
+	got, _ := b.Recv()
+	if string(got) != "mutable" {
+		t.Errorf("payload aliased sender buffer: %q", got)
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b := Pipe()
+	a.Send([]byte("queued"))
+	a.Close()
+	// Queued message still delivered after close.
+	if got, err := b.Recv(); err != nil || string(got) != "queued" {
+		t.Errorf("queued recv: %q, %v", got, err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Errorf("recv after close: %v", err)
+	}
+	if err := b.Send([]byte("x")); err != ErrClosed {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xab}, 10000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame mismatch: %d bytes vs %d", len(got), len(want))
+		}
+	}
+}
+
+func TestFrameChecksumDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("important state"))
+	raw := buf.Bytes()
+	raw[10] ^= 0x01 // flip a payload bit
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupted frame accepted")
+	}
+}
+
+func TestFrameBogusLength(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("oversized frame length accepted")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		tr := NewConn(c)
+		defer tr.Close()
+		msg, err := tr.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- tr.Send(append([]byte("echo:"), msg...))
+	}()
+
+	tr, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:state" {
+		t.Errorf("echo = %q", got)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileTransfer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "migration.state")
+	payload := bytes.Repeat([]byte("block"), 1000)
+	if err := SendFile(path, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := RecvFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("file payload mismatch")
+	}
+}
+
+func TestModelTxTime(t *testing.T) {
+	// 8 MB over 100 Mb/s at 80% efficiency: 8e6*8/80e6 = 0.8 s + latency.
+	d := Ethernet100.TxTime(8 << 20)
+	if d < 750*time.Millisecond || d > 1100*time.Millisecond {
+		t.Errorf("8MB over 100Mb/s = %v, expected ≈0.84s", d)
+	}
+	// The 10 Mb/s link is about 10x slower.
+	d10 := Ethernet10.TxTime(8 << 20)
+	if ratio := d10.Seconds() / d.Seconds(); ratio < 7 || ratio > 14 {
+		t.Errorf("10Mb/s / 100Mb/s time ratio = %.1f", ratio)
+	}
+	// Latency floor for empty payloads.
+	if Ethernet100.TxTime(0) < Ethernet100.Latency {
+		t.Error("latency not applied")
+	}
+	// Monotone in size.
+	if Ethernet100.TxTime(1000) >= Ethernet100.TxTime(100000) {
+		t.Error("TxTime not increasing with size")
+	}
+}
+
+func TestModelDegenerate(t *testing.T) {
+	m := Model{Latency: time.Millisecond}
+	if m.TxTime(100) != time.Millisecond {
+		t.Error("zero-bandwidth model should return latency")
+	}
+	m2 := Model{BitsPerSecond: 1e6, Efficiency: 5} // out-of-range efficiency
+	if m2.TxTime(1000) <= 0 {
+		t.Error("bad efficiency not clamped")
+	}
+}
+
+func TestMeasuredTransport(t *testing.T) {
+	a, b := Pipe()
+	ma := &Measured{T: a}
+	mb := &Measured{T: b}
+	defer ma.Close()
+	defer mb.Close()
+	ma.Send(make([]byte, 1000))
+	mb.Recv()
+	if ma.BytesSent != 1000 || mb.BytesReceived != 1000 {
+		t.Errorf("measured bytes: sent=%d recv=%d", ma.BytesSent, mb.BytesReceived)
+	}
+	if ma.SendTime < 0 || mb.RecvTime < 0 {
+		t.Error("negative times")
+	}
+}
+
+func TestLoopbackPair(t *testing.T) {
+	srv, cli, cleanup, err := LoopbackPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	done := make(chan []byte, 1)
+	go func() {
+		msg, err := srv.Recv()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- msg
+	}()
+	if err := cli.Send([]byte("over loopback")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; string(got) != "over loopback" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSendFileErrors(t *testing.T) {
+	if err := SendFile("/nonexistent-dir/x/y", []byte("p")); err == nil {
+		t.Error("SendFile into missing directory succeeded")
+	}
+	if _, err := RecvFile("/nonexistent-dir/x/y"); err == nil {
+		t.Error("RecvFile of missing file succeeded")
+	}
+}

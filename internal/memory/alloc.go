@@ -1,0 +1,130 @@
+package memory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// allocator is a first-fit free-list heap allocator over a contiguous
+// address range, in the style of a classic C malloc. Block metadata is kept
+// on the Go side rather than in headers inside the simulated space so that
+// the simulated heap contains only program data — exactly what the data
+// collection mechanisms should see.
+//
+// Free blocks are coalesced with their neighbours on free. All blocks are
+// aligned to 16 bytes, sufficient for any scalar on any registered machine.
+type allocator struct {
+	base Address
+	cap  int
+
+	// free list ordered by address, for first-fit search and coalescing.
+	freeList []span
+	// allocated maps block base address to its span.
+	allocated map[Address]span
+
+	live      int
+	bytesLive int
+}
+
+// span is a contiguous address range [addr, addr+size).
+type span struct {
+	addr Address
+	size int // gross size including alignment rounding
+	req  int // requested (usable) size
+}
+
+const allocAlign = 16
+
+func (a *allocator) init(base Address, capacity int) {
+	a.base = base
+	a.cap = capacity
+	a.freeList = []span{{addr: base, size: capacity}}
+	a.allocated = make(map[Address]span)
+}
+
+// allocate finds the first free span large enough for size bytes.
+func (a *allocator) allocate(size int) (Address, error) {
+	gross := size
+	if gross == 0 {
+		gross = 1
+	}
+	gross = (gross + allocAlign - 1) &^ (allocAlign - 1)
+	for i, f := range a.freeList {
+		if f.size < gross {
+			continue
+		}
+		addr := f.addr
+		if f.size == gross {
+			a.freeList = append(a.freeList[:i], a.freeList[i+1:]...)
+		} else {
+			a.freeList[i] = span{addr: f.addr + Address(gross), size: f.size - gross}
+		}
+		a.allocated[addr] = span{addr: addr, size: gross, req: size}
+		a.live++
+		a.bytesLive += size
+		return addr, nil
+	}
+	return 0, ErrOutOfMemory
+}
+
+// free returns a block to the free list, coalescing adjacent spans.
+func (a *allocator) free(addr Address) error {
+	s, ok := a.allocated[addr]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
+	}
+	delete(a.allocated, addr)
+	a.live--
+	a.bytesLive -= s.req
+
+	// Insert in address order.
+	i := sort.Search(len(a.freeList), func(i int) bool {
+		return a.freeList[i].addr > s.addr
+	})
+	a.freeList = append(a.freeList, span{})
+	copy(a.freeList[i+1:], a.freeList[i:])
+	a.freeList[i] = span{addr: s.addr, size: s.size}
+
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.freeList) && a.freeList[i].addr+Address(a.freeList[i].size) == a.freeList[i+1].addr {
+		a.freeList[i].size += a.freeList[i+1].size
+		a.freeList = append(a.freeList[:i+1], a.freeList[i+2:]...)
+	}
+	if i > 0 && a.freeList[i-1].addr+Address(a.freeList[i-1].size) == a.freeList[i].addr {
+		a.freeList[i-1].size += a.freeList[i].size
+		a.freeList = append(a.freeList[:i], a.freeList[i+1:]...)
+	}
+	return nil
+}
+
+// sizeOf returns the requested size of the allocated block at addr.
+func (a *allocator) sizeOf(addr Address) (int, error) {
+	s, ok := a.allocated[addr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, uint64(addr))
+	}
+	return s.req, nil
+}
+
+// checkInvariants verifies the free list is sorted, non-overlapping, and
+// fully coalesced, and that no free span overlaps an allocated block.
+// It is used by property tests.
+func (a *allocator) checkInvariants() error {
+	for i := 1; i < len(a.freeList); i++ {
+		prev, cur := a.freeList[i-1], a.freeList[i]
+		if prev.addr+Address(prev.size) > cur.addr {
+			return fmt.Errorf("free list overlap at %d", i)
+		}
+		if prev.addr+Address(prev.size) == cur.addr {
+			return fmt.Errorf("free list not coalesced at %d", i)
+		}
+	}
+	for addr, s := range a.allocated {
+		for _, f := range a.freeList {
+			if addr < f.addr+Address(f.size) && f.addr < addr+Address(s.size) {
+				return fmt.Errorf("allocated block %#x overlaps free span %#x", uint64(addr), uint64(f.addr))
+			}
+		}
+	}
+	return nil
+}

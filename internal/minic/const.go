@@ -1,0 +1,140 @@
+package minic
+
+// Constant expression evaluation for global initializers. C initializes
+// globals before main runs, so only compile-time constants are accepted:
+// literals combined with unary and binary arithmetic. Values are kept
+// machine-independent (int64/float64) and converted to the target layout
+// when the process image is built.
+
+// evalConst evaluates a constant expression, or reports that it is not
+// constant.
+func evalConst(e Expr) (ConstValue, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return ConstValue{Valid: true, I: int64(x.Val)}, true
+	case *FloatLit:
+		return ConstValue{Valid: true, IsFloat: true, F: x.Val}, true
+
+	case *Unary:
+		v, ok := evalConst(x.X)
+		if !ok {
+			return ConstValue{}, false
+		}
+		switch x.Op {
+		case "+":
+			return v, true
+		case "-":
+			if v.IsFloat {
+				return ConstValue{Valid: true, IsFloat: true, F: -v.F}, true
+			}
+			return ConstValue{Valid: true, I: -v.I}, true
+		case "~":
+			if v.IsFloat {
+				return ConstValue{}, false
+			}
+			return ConstValue{Valid: true, I: ^v.I}, true
+		case "!":
+			truth := v.I != 0
+			if v.IsFloat {
+				truth = v.F != 0
+			}
+			if truth {
+				return ConstValue{Valid: true, I: 0}, true
+			}
+			return ConstValue{Valid: true, I: 1}, true
+		}
+		return ConstValue{}, false
+
+	case *Binary:
+		l, ok := evalConst(x.X)
+		if !ok {
+			return ConstValue{}, false
+		}
+		r, ok := evalConst(x.Y)
+		if !ok {
+			return ConstValue{}, false
+		}
+		if l.IsFloat || r.IsFloat {
+			lf, rf := l.asFloat(), r.asFloat()
+			switch x.Op {
+			case "+":
+				return ConstValue{Valid: true, IsFloat: true, F: lf + rf}, true
+			case "-":
+				return ConstValue{Valid: true, IsFloat: true, F: lf - rf}, true
+			case "*":
+				return ConstValue{Valid: true, IsFloat: true, F: lf * rf}, true
+			case "/":
+				if rf == 0 {
+					return ConstValue{}, false
+				}
+				return ConstValue{Valid: true, IsFloat: true, F: lf / rf}, true
+			}
+			return ConstValue{}, false
+		}
+		switch x.Op {
+		case "+":
+			return ConstValue{Valid: true, I: l.I + r.I}, true
+		case "-":
+			return ConstValue{Valid: true, I: l.I - r.I}, true
+		case "*":
+			return ConstValue{Valid: true, I: l.I * r.I}, true
+		case "/":
+			if r.I == 0 {
+				return ConstValue{}, false
+			}
+			return ConstValue{Valid: true, I: l.I / r.I}, true
+		case "%":
+			if r.I == 0 {
+				return ConstValue{}, false
+			}
+			return ConstValue{Valid: true, I: l.I % r.I}, true
+		case "<<":
+			return ConstValue{Valid: true, I: l.I << (uint64(r.I) & 63)}, true
+		case ">>":
+			return ConstValue{Valid: true, I: l.I >> (uint64(r.I) & 63)}, true
+		case "&":
+			return ConstValue{Valid: true, I: l.I & r.I}, true
+		case "|":
+			return ConstValue{Valid: true, I: l.I | r.I}, true
+		case "^":
+			return ConstValue{Valid: true, I: l.I ^ r.I}, true
+		}
+		return ConstValue{}, false
+
+	case *Cast:
+		v, ok := evalConst(x.X)
+		if !ok || x.To == nil {
+			return ConstValue{}, false
+		}
+		if x.To.IsFloat() {
+			return ConstValue{Valid: true, IsFloat: true, F: v.asFloat()}, true
+		}
+		if x.To.IsInteger() {
+			if v.IsFloat {
+				return ConstValue{Valid: true, I: int64(v.F)}, true
+			}
+			return v, true
+		}
+		return ConstValue{}, false
+	}
+	return ConstValue{}, false
+}
+
+// asFloat converts the constant to a float64 value.
+func (c ConstValue) asFloat() float64 {
+	if c.IsFloat {
+		return c.F
+	}
+	return float64(c.I)
+}
+
+// AsFloat returns the constant as a float64.
+func (c ConstValue) AsFloat() float64 { return c.asFloat() }
+
+// AsInt returns the constant as an int64 (truncating a float constant).
+func (c ConstValue) AsInt() int64 {
+	if c.IsFloat {
+		return int64(c.F)
+	}
+	return c.I
+}

@@ -1,0 +1,178 @@
+package minic
+
+import (
+	"testing"
+)
+
+// evalConstOf compiles a global initializer through the front end and
+// returns the recorded constant.
+func evalConstOf(t *testing.T, typ, expr string) ConstValue {
+	t.Helper()
+	prog := mustCompile(t, typ+" x = "+expr+"; int main() { return 0; }", PollPolicy{})
+	for _, g := range prog.Globals {
+		if g.Name == "x" {
+			return g.Init
+		}
+	}
+	t.Fatal("global x not found")
+	return ConstValue{}
+}
+
+func TestConstIntExpressions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"5", 5},
+		{"-5", -5},
+		{"+5", 5},
+		{"~0", -1},
+		{"!0", 1},
+		{"!7", 0},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"20 / 3", 6},
+		{"20 % 3", 2},
+		{"1 << 10", 1024},
+		{"1024 >> 3", 128},
+		{"12 & 10", 8},
+		{"12 | 10", 14},
+		{"12 ^ 10", 6},
+		{"'A'", 65},
+		{"(int)2.9", 2},
+	}
+	for _, c := range cases {
+		v := evalConstOf(t, "long long", c.expr)
+		if !v.Valid || v.IsFloat || v.I != c.want {
+			t.Errorf("%q = %+v, want %d", c.expr, v, c.want)
+		}
+	}
+}
+
+func TestConstFloatExpressions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"1.5", 1.5},
+		{"-1.5", -1.5},
+		{"1.5 + 2", 3.5},
+		{"3 * 0.5", 1.5},
+		{"7.0 / 2", 3.5},
+		{"(double)3", 3.0},
+	}
+	for _, c := range cases {
+		v := evalConstOf(t, "double", c.expr)
+		if !v.Valid || !v.IsFloat || v.F != c.want {
+			t.Errorf("%q = %+v, want %g", c.expr, v, c.want)
+		}
+	}
+}
+
+func TestConstConversionsAtInit(t *testing.T) {
+	// float constant into int global truncates; int into double widens.
+	vi := evalConstOf(t, "int", "2.75")
+	if vi.IsFloat || vi.I != 2 {
+		t.Errorf("int x = 2.75 -> %+v", vi)
+	}
+	vf := evalConstOf(t, "double", "3")
+	if !vf.IsFloat || vf.F != 3.0 {
+		t.Errorf("double x = 3 -> %+v", vf)
+	}
+	if (ConstValue{Valid: true, I: 7}).AsFloat() != 7.0 {
+		t.Error("AsFloat of int constant")
+	}
+	if (ConstValue{Valid: true, IsFloat: true, F: 7.9}).AsInt() != 7 {
+		t.Error("AsInt of float constant")
+	}
+}
+
+func TestConstRejectsNonConstant(t *testing.T) {
+	for _, expr := range []string{
+		"1 / 0",
+		"1 % 0",
+		"1.5 / 0.0",
+		"~1.5",
+	} {
+		src := "int x = " + expr + "; int main() { return 0; }"
+		if _, err := Compile(src, PollPolicy{}); err == nil {
+			t.Errorf("%q accepted as a constant initializer", expr)
+		}
+	}
+}
+
+func TestSiteByID(t *testing.T) {
+	prog := mustCompile(t, `
+		int main() {
+			int i;
+			for (i = 0; i < 2; i++) { migrate_here(); }
+			return 0;
+		}
+	`, PollPolicy{})
+	fn := prog.Func("main")
+	if fn.SiteByID(1) == nil {
+		t.Error("site 1 missing")
+	}
+	if fn.SiteByID(99) != nil {
+		t.Error("phantom site")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	toks, err := Tokenize(`name 42 1.5 'q' "s" + if`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{`"name"`, "integer 42", "float 1.5",
+		`character 'q'`, `string "s"`, `"+"`, `"if"`} {
+		if got := toks[i].String(); got != want {
+			t.Errorf("token %d String = %q, want %q", i, got, want)
+		}
+	}
+	eof := toks[len(toks)-1]
+	if eof.String() != "end of file" {
+		t.Errorf("EOF string = %q", eof.String())
+	}
+}
+
+func TestMarkAddrTakenThroughAccessPaths(t *testing.T) {
+	prog := mustCompile(t, `
+		struct s { int f; int arr[3]; };
+		int main() {
+			struct s v;
+			int plain;
+			int *p1, *p2, *p3;
+			plain = 0;
+			p1 = &v.f;
+			p2 = &v.arr[1];
+			p3 = &plain;
+			return *p1 + *p2 + *p3;
+		}
+	`, PollPolicy{})
+	byName := map[string]*VarSymbol{}
+	for _, l := range prog.Func("main").Locals {
+		byName[l.Name] = l
+	}
+	if !byName["v"].AddrTaken {
+		t.Error("&v.f must mark v address-taken")
+	}
+	if !byName["plain"].AddrTaken {
+		t.Error("&plain must mark plain address-taken")
+	}
+}
+
+func TestUnaryCheckErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int main() { int *p; p = -p; return 0; }", "arithmetic operand"},
+		{"int main() { double d; d = ~d; return 0; }", "integer operand"},
+		{"int main() { ++3; return 0; }", "lvalue"},
+		{"int main() { int *p; int x; x = *&*p + 1; return x; }", ""},
+	}
+	for _, c := range cases {
+		if c.want == "" {
+			mustCheck(t, c.src)
+			continue
+		}
+		checkErr(t, c.src, c.want)
+	}
+}

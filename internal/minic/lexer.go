@@ -1,0 +1,290 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes MigC source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// skipSpace consumes whitespace and comments. It returns an error for an
+// unterminated block comment.
+func (lx *Lexer) skipSpace() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// punctuation in longest-match order.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isAlpha(c):
+		start := lx.off
+		for lx.off < len(lx.src) && (isAlpha(lx.peek()) || isDigit(lx.peek())) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.off]
+		if keywords[word] {
+			return Token{Kind: TokKeyword, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: word}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		return lx.number(pos)
+
+	case c == '\'':
+		return lx.charLit(pos)
+
+	case c == '"':
+		return lx.strLit(pos)
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.off:], p) {
+			for range p {
+				lx.advance()
+			}
+			return Token{Kind: TokPunct, Pos: pos, Text: p}, nil
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", c)
+}
+
+// number lexes an integer or floating literal (decimal, hex, octal;
+// floats with optional exponent; integer suffixes u/l are accepted and
+// ignored).
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHex(lx.peek()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.peek() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			isFloat = true
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+	}
+	text := lx.src[start:lx.off]
+	// Consume and ignore integer suffixes; 'f' marks a float literal.
+	for lx.off < len(lx.src) {
+		switch lx.peek() {
+		case 'u', 'U', 'l', 'L':
+			lx.advance()
+		case 'f', 'F':
+			isFloat = true
+			lx.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Pos: pos, Float: f, Text: text}, nil
+	}
+	v, err := strconv.ParseUint(text, 0, 64)
+	if err != nil {
+		return Token{}, errf(pos, "bad integer literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Pos: pos, Int: v, Text: text}, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// escape decodes one escape sequence after a backslash.
+func (lx *Lexer) escape(pos Pos) (byte, error) {
+	if lx.off >= len(lx.src) {
+		return 0, errf(pos, "unterminated escape")
+	}
+	c := lx.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, errf(pos, "unsupported escape \\%c", c)
+}
+
+func (lx *Lexer) charLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	var v byte
+	c := lx.advance()
+	if c == '\\' {
+		e, err := lx.escape(pos)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	if lx.off >= len(lx.src) || lx.advance() != '\'' {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	return Token{Kind: TokCharLit, Pos: pos, Int: uint64(v)}, nil
+}
+
+func (lx *Lexer) strLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return Token{}, errf(pos, "newline in string literal")
+		}
+		if c == '\\' {
+			e, err := lx.escape(pos)
+			if err != nil {
+				return Token{}, err
+			}
+			b.WriteByte(e)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return Token{Kind: TokStrLit, Pos: pos, Str: b.String()}, nil
+}
+
+// Tokenize lexes the whole input, primarily for tests and tooling.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package minic
+
+import "sort"
+
+// This file implements the live-variable dataflow analysis the pre-compiler
+// runs for every migratory function: at each migration site it determines
+// the variables "whose data values are needed for computation beyond the
+// poll-point" (Section 2 of the paper). Only those are collected, which is
+// what keeps the transferred state small.
+//
+// The analysis is a standard backward may-analysis, made exact for MigC's
+// structured control flow by running a local fixed point per loop. It is
+// conservative in two ways:
+//
+//   - only direct assignments to simple variables count as definitions
+//     (stores through pointers, array elements, and struct members kill
+//     nothing);
+//   - address-taken variables (including all aggregates, whose address
+//     escapes by decay) are treated as live at every site, because their
+//     storage may be reached through pointers the analysis does not track.
+
+// varSet is a set of variable symbols.
+type varSet map[*VarSymbol]bool
+
+func (s varSet) clone() varSet {
+	out := make(varSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s varSet) addAll(o varSet) {
+	for k := range o {
+		s[k] = true
+	}
+}
+
+func (s varSet) equal(o varSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// liveAnalysis carries the per-function analysis state.
+type liveAnalysis struct {
+	fn *FuncSymbol
+	// addrTaken is the conservative always-live set.
+	addrTaken varSet
+	// breakOut / continueOut are the live sets at the targets of break
+	// and continue for the innermost loop.
+	breakOut    varSet
+	continueOut varSet
+}
+
+// computeLiveSets runs the analysis on fn, filling Site.Live for every
+// site in the function.
+func computeLiveSets(fn *FuncSymbol) {
+	la := &liveAnalysis{fn: fn, addrTaken: varSet{}}
+	for _, v := range fn.Locals {
+		if v.AddrTaken {
+			la.addrTaken[v] = true
+		}
+	}
+	la.liveStmt(fn.Body, varSet{})
+}
+
+// record stores the live set at a site: local variables live after the
+// site plus the address-taken set, in frame index order.
+func (la *liveAnalysis) record(site *Site, out varSet) {
+	live := out.clone()
+	live.addAll(la.addrTaken)
+	var vars []*VarSymbol
+	for v := range live {
+		if v.Kind != GlobalVar {
+			vars = append(vars, v)
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Index < vars[j].Index })
+	site.Live = vars
+}
+
+// liveStmt computes the live-in set of s given its live-out set. out is
+// not modified.
+func (la *liveAnalysis) liveStmt(s Stmt, out varSet) varSet {
+	switch st := s.(type) {
+	case nil:
+		return out
+
+	case *Block:
+		in := out
+		for i := len(st.Stmts) - 1; i >= 0; i-- {
+			in = la.liveStmt(st.Stmts[i], in)
+		}
+		return in
+
+	case *DeclStmt:
+		in := out.clone()
+		delete(in, st.Sym)
+		if st.Init != nil {
+			la.useExpr(st.Init, in)
+		}
+		return in
+
+	case *ExprStmt:
+		in := out.clone()
+		if st.Site != nil {
+			// Call site: what must be restored in this frame is what is
+			// live after the statement minus what the statement itself
+			// defines (the assignment target is overwritten on resume).
+			siteOut := out.clone()
+			if d := defOf(st.X); d != nil {
+				delete(siteOut, d)
+			}
+			la.record(st.Site, siteOut)
+		}
+		if d := defOf(st.X); d != nil {
+			delete(in, d)
+		}
+		la.useExpr(st.X, in)
+		return in
+
+	case *If:
+		thenIn := la.liveStmt(st.Then, out)
+		elseIn := out
+		if st.Else != nil {
+			elseIn = la.liveStmt(st.Else, out)
+		}
+		in := thenIn.clone()
+		in.addAll(elseIn)
+		la.useExpr(st.Cond, in)
+		return in
+
+	case *While:
+		return la.liveLoop(out, st.Cond, st.Body, nil, st.DoWhile)
+
+	case *For:
+		loopIn := la.liveLoop(out, st.Cond, st.Body, st.Post, false)
+		in := loopIn.clone()
+		if st.Init != nil {
+			if d := defOf(st.Init); d != nil {
+				delete(in, d)
+			}
+			la.useExpr(st.Init, in)
+		}
+		return in
+
+	case *Return:
+		in := varSet{}
+		if st.X != nil {
+			la.useExpr(st.X, in)
+		}
+		return in
+
+	case *Break:
+		if la.breakOut != nil {
+			return la.breakOut
+		}
+		return out
+
+	case *Continue:
+		if la.continueOut != nil {
+			return la.continueOut
+		}
+		return out
+
+	case *PollPoint:
+		la.record(st.Site, out)
+		return out
+
+	case *Empty:
+		return out
+	}
+	return out
+}
+
+// liveLoop computes the live-in set of a loop with the given condition,
+// body, and optional post expression, iterating to a fixed point. The
+// recorded site lives inside the body are overwritten on each iteration,
+// so they end at their fixed-point values.
+func (la *liveAnalysis) liveLoop(out varSet, cond Expr, body Stmt, post Expr, doWhile bool) varSet {
+	// loopTest is the live set at the loop's test point given the
+	// current estimate of the body's live-in.
+	loopIn := out.clone()
+	for iter := 0; iter < 100; iter++ {
+		// Live after the body: the post expression, then the test.
+		test := loopIn.clone()
+		test.addAll(out)
+		if cond != nil {
+			la.useExpr(cond, test)
+		}
+		afterBody := test.clone()
+		if post != nil {
+			la.useExpr(post, afterBody)
+		}
+
+		savedBreak, savedCont := la.breakOut, la.continueOut
+		la.breakOut = out
+		la.continueOut = afterBody
+		bodyIn := la.liveStmt(body, afterBody)
+		la.breakOut, la.continueOut = savedBreak, savedCont
+
+		var next varSet
+		if doWhile {
+			// do-while enters the body first.
+			next = bodyIn.clone()
+			next.addAll(out)
+		} else {
+			next = test.clone()
+			next.addAll(bodyIn)
+			if cond != nil {
+				la.useExpr(cond, next)
+			}
+		}
+		if next.equal(loopIn) {
+			return loopIn
+		}
+		loopIn = next
+	}
+	return loopIn
+}
+
+// defOf returns the variable directly defined by an expression statement:
+// a simple assignment x = ... to an identifier. Compound assignments also
+// read the target and therefore define nothing for liveness purposes.
+func defOf(e Expr) *VarSymbol {
+	a, ok := e.(*Assign)
+	if !ok || a.Op != "=" {
+		return nil
+	}
+	id, ok := a.X.(*Ident)
+	if !ok {
+		return nil
+	}
+	return id.Sym
+}
+
+// useExpr adds every variable read by e to the set. For a simple
+// assignment the target identifier is not a use; everything else is.
+func (la *liveAnalysis) useExpr(e Expr, set varSet) {
+	switch x := e.(type) {
+	case nil, *IntLit, *FloatLit, *StrLit, *SizeofExpr:
+		if sx, ok := e.(*SizeofExpr); ok && sx.X != nil {
+			// sizeof does not evaluate its operand; no uses.
+			return
+		}
+	case *Ident:
+		if x.Sym != nil {
+			set[x.Sym] = true
+		}
+	case *Unary:
+		la.useExpr(x.X, set)
+	case *Postfix:
+		la.useExpr(x.X, set)
+	case *Binary:
+		la.useExpr(x.X, set)
+		la.useExpr(x.Y, set)
+	case *Assign:
+		if x.Op == "=" {
+			if _, simple := x.X.(*Ident); !simple {
+				la.useExpr(x.X, set)
+			}
+		} else {
+			la.useExpr(x.X, set)
+		}
+		la.useExpr(x.Y, set)
+	case *Cond:
+		la.useExpr(x.C, set)
+		la.useExpr(x.X, set)
+		la.useExpr(x.Y, set)
+	case *Index:
+		la.useExpr(x.X, set)
+		la.useExpr(x.I, set)
+	case *Member:
+		la.useExpr(x.X, set)
+	case *Call:
+		for _, a := range x.Args {
+			la.useExpr(a, set)
+		}
+	case *Cast:
+		la.useExpr(x.X, set)
+	}
+}

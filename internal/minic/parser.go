@@ -1,0 +1,973 @@
+package minic
+
+import (
+	"repro/internal/arch"
+	"repro/internal/types"
+)
+
+// Parser builds the untyped AST by recursive descent. MigC is LL(2) given
+// the absence of typedefs: a statement starting with a type keyword (or
+// "struct" followed by an identifier and not an opening brace) is a
+// declaration; a parenthesized type keyword is a cast.
+type Parser struct {
+	toks []Token
+	pos  int
+
+	// structs maps tag names to their (possibly incomplete) types.
+	structs map[string]*types.Type
+	// structOrder preserves declaration order for the Program.
+	structOrder []*types.Type
+}
+
+// Parse lexes and parses a MigC source file into an unchecked parse tree.
+func Parse(src string) (*ParseTree, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, structs: map[string]*types.Type{}}
+	return p.file()
+}
+
+// ParseTree is the unchecked result of parsing: declarations in source
+// order, before symbol binding and type checking.
+type ParseTree struct {
+	Structs []*types.Type
+	Globals []*globalDecl
+	Funcs   []*funcDecl
+}
+
+type globalDecl struct {
+	Pos  Pos
+	Name string
+	Type *types.Type
+	// Init is the optional constant initializer expression.
+	Init Expr
+}
+
+type funcDecl struct {
+	Pos    Pos
+	Name   string
+	Result *types.Type
+	Params []*paramDecl
+	Body   *Block
+}
+
+type paramDecl struct {
+	Pos  Pos
+	Name string
+	Type *types.Type
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekN(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && t.Text == text
+}
+
+func (p *Parser) atPunct(text string) bool   { return p.at(TokPunct, text) }
+func (p *Parser) atKeyword(text string) bool { return p.at(TokKeyword, text) }
+
+func (p *Parser) expectPunct(text string) (Token, error) {
+	if !p.atPunct(text) {
+		return Token{}, errf(p.cur().Pos, "expected %q, found %s", text, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) expectIdent() (Token, error) {
+	if p.cur().Kind != TokIdent {
+		return Token{}, errf(p.cur().Pos, "expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+// unsupported C features that lex as keywords, with specific diagnostics;
+// these are the migration-unsafe or out-of-subset constructs.
+var unsupportedKeyword = map[string]string{
+	"union":    "unions are migration-unsafe (untagged storage reinterpretation)",
+	"goto":     "goto is not supported; migration sites require structured control flow",
+	"switch":   "switch is not supported; use if/else chains",
+	"case":     "switch is not supported",
+	"default":  "switch is not supported",
+	"typedef":  "typedef is not supported",
+	"enum":     "enum is not supported; use int constants",
+	"static":   "storage-class specifiers are not supported",
+	"extern":   "storage-class specifiers are not supported",
+	"register": "register is migration-hostile and not supported",
+	"volatile": "volatile is not supported",
+	"auto":     "storage-class specifiers are not supported",
+	"setjmp":   "setjmp/longjmp are migration-unsafe",
+	"longjmp":  "setjmp/longjmp are migration-unsafe",
+}
+
+func (p *Parser) checkUnsupported() error {
+	if p.cur().Kind == TokKeyword {
+		if msg, ok := unsupportedKeyword[p.cur().Text]; ok {
+			return errf(p.cur().Pos, "%s", msg)
+		}
+	}
+	return nil
+}
+
+// atTypeStart reports whether the current token begins a type specifier.
+func (p *Parser) atTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "char", "short", "int", "long", "float", "double", "void",
+		"unsigned", "signed", "struct", "const":
+		return true
+	}
+	return false
+}
+
+// file parses the whole compilation unit.
+func (p *Parser) file() (*ParseTree, error) {
+	tree := &ParseTree{}
+	for p.cur().Kind != TokEOF {
+		if err := p.checkUnsupported(); err != nil {
+			return nil, err
+		}
+		// struct definition: struct IDENT { ... } ;
+		if p.atKeyword("struct") && p.peekN(1).Kind == TokIdent && p.peekN(2).Kind == TokPunct && p.peekN(2).Text == "{" {
+			if err := p.structDef(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if !p.atTypeStart() {
+			return nil, errf(p.cur().Pos, "expected declaration, found %s", p.cur())
+		}
+		base, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		// Look ahead past the declarator's stars to decide var vs func.
+		save := p.pos
+		ty, name, npos, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct("(") {
+			p.pos = save
+			// Re-parse just the pointer stars for the result type.
+			rt := base
+			for p.atPunct("*") {
+				p.next()
+				rt = types.PointerTo(rt)
+			}
+			fd, err := p.funcDef(rt)
+			if err != nil {
+				return nil, err
+			}
+			tree.Funcs = append(tree.Funcs, fd)
+			continue
+		}
+		// Global variable declaration, possibly with several declarators
+		// and constant initializers.
+		gd := &globalDecl{Pos: npos, Name: name, Type: ty}
+		if p.atPunct("=") {
+			p.next()
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			gd.Init = init
+		}
+		tree.Globals = append(tree.Globals, gd)
+		for p.atPunct(",") {
+			p.next()
+			ty, name, npos, err = p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			gd := &globalDecl{Pos: npos, Name: name, Type: ty}
+			if p.atPunct("=") {
+				p.next()
+				init, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				gd.Init = init
+			}
+			tree.Globals = append(tree.Globals, gd)
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+	tree.Structs = p.structOrder
+	return tree, nil
+}
+
+// structDef parses struct IDENT { fields } ;
+func (p *Parser) structDef() error {
+	p.next() // struct
+	nameTok := p.next()
+	tag := nameTok.Text
+	st, ok := p.structs[tag]
+	if !ok {
+		st = types.NewStruct(tag)
+		p.structs[tag] = st
+	}
+	if st.Complete() {
+		return errf(nameTok.Pos, "struct %s redefined", tag)
+	}
+	p.structOrder = append(p.structOrder, st)
+	if _, err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	var fields []types.Field
+	for !p.atPunct("}") {
+		if err := p.checkUnsupported(); err != nil {
+			return err
+		}
+		base, err := p.typeSpec()
+		if err != nil {
+			return err
+		}
+		for {
+			ty, name, npos, err := p.declarator(base)
+			if err != nil {
+				return err
+			}
+			for _, f := range fields {
+				if f.Name == name {
+					return errf(npos, "duplicate field %s in struct %s", name, tag)
+				}
+			}
+			fields = append(fields, types.Field{Name: name, Type: ty})
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return err
+		}
+	}
+	p.next() // }
+	if _, err := p.expectPunct(";"); err != nil {
+		return err
+	}
+	if len(fields) == 0 {
+		return errf(nameTok.Pos, "struct %s has no fields", tag)
+	}
+	st.DefineFields(fields)
+	return nil
+}
+
+// typeSpec parses a base type: primitive combinations or struct reference.
+// A leading const qualifier is accepted and ignored.
+func (p *Parser) typeSpec() (*types.Type, error) {
+	for p.atKeyword("const") {
+		p.next()
+	}
+	pos := p.cur().Pos
+	if p.atKeyword("struct") {
+		p.next()
+		tok, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		st, ok := p.structs[tok.Text]
+		if !ok {
+			// Forward reference; legal only through a pointer, checked
+			// at completion/layout time.
+			st = types.NewStruct(tok.Text)
+			p.structs[tok.Text] = st
+		}
+		return st, nil
+	}
+	unsigned := false
+	signed := false
+	for p.atKeyword("unsigned") || p.atKeyword("signed") {
+		if p.cur().Text == "unsigned" {
+			unsigned = true
+		} else {
+			signed = true
+		}
+		p.next()
+	}
+	_ = signed
+	base := ""
+	switch {
+	case p.atKeyword("char"), p.atKeyword("short"), p.atKeyword("int"),
+		p.atKeyword("long"), p.atKeyword("float"), p.atKeyword("double"),
+		p.atKeyword("void"):
+		base = p.next().Text
+	default:
+		if unsigned || signed {
+			base = "int" // bare unsigned/signed
+		} else {
+			return nil, errf(pos, "expected type, found %s", p.cur())
+		}
+	}
+	if base == "long" && p.atKeyword("long") {
+		p.next()
+		base = "long long"
+	}
+	if base == "short" && p.atKeyword("int") {
+		p.next()
+	}
+	if base == "long" && p.atKeyword("int") {
+		p.next()
+	}
+	var t *types.Type
+	switch base {
+	case "char":
+		t = types.Char
+		if unsigned {
+			t = types.UChar
+		}
+	case "short":
+		t = types.Short
+		if unsigned {
+			t = types.UShort
+		}
+	case "int":
+		t = types.Int
+		if unsigned {
+			t = types.UInt
+		}
+	case "long":
+		t = types.Long
+		if unsigned {
+			t = types.ULong
+		}
+	case "long long":
+		t = types.PrimType(llKind(unsigned))
+	case "float":
+		if unsigned {
+			return nil, errf(pos, "unsigned float is not a type")
+		}
+		t = types.Float
+	case "double":
+		if unsigned {
+			return nil, errf(pos, "unsigned double is not a type")
+		}
+		t = types.Double
+	case "void":
+		if unsigned {
+			return nil, errf(pos, "unsigned void is not a type")
+		}
+		t = types.Void
+	}
+	return t, nil
+}
+
+// declarator parses '*'* IDENT ('[' INT ']')* applied to the base type
+// and returns the full type, the declared name, and its position.
+func (p *Parser) declarator(base *types.Type) (*types.Type, string, Pos, error) {
+	t := base
+	for p.atPunct("*") {
+		p.next()
+		t = types.PointerTo(t)
+	}
+	tok, err := p.expectIdent()
+	if err != nil {
+		return nil, "", Pos{}, err
+	}
+	// Collect array dimensions outermost-first.
+	var dims []int
+	for p.atPunct("[") {
+		p.next()
+		sz := p.cur()
+		if sz.Kind != TokIntLit {
+			return nil, "", Pos{}, errf(sz.Pos, "array dimension must be an integer constant")
+		}
+		if sz.Int == 0 || sz.Int > 1<<28 {
+			return nil, "", Pos{}, errf(sz.Pos, "array dimension %d out of range", sz.Int)
+		}
+		p.next()
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, "", Pos{}, err
+		}
+		dims = append(dims, int(sz.Int))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = types.ArrayOf(t, dims[i])
+	}
+	return t, tok.Text, tok.Pos, nil
+}
+
+// funcDef parses name(params) { body } with the result type already known.
+func (p *Parser) funcDef(result *types.Type) (*funcDecl, error) {
+	tok, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	fd := &funcDecl{Pos: tok.Pos, Name: tok.Text, Result: result}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("void") && p.peekN(1).Kind == TokPunct && p.peekN(1).Text == ")" {
+		p.next()
+	}
+	for !p.atPunct(")") {
+		if len(fd.Params) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		if p.atPunct("...") {
+			return nil, errf(p.cur().Pos, "variadic functions are migration-unsafe")
+		}
+		base, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		ty, name, npos, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		fd.Params = append(fd.Params, &paramDecl{Pos: npos, Name: name, Type: ty})
+	}
+	p.next() // )
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// block parses { stmts }.
+func (p *Parser) block() (*Block, error) {
+	open, err := p.expectPunct("{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{stmtBase: stmtBase{Pos: open.Pos}}
+	for !p.atPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(open.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if list, ok := s.(*declList); ok {
+			b.Stmts = append(b.Stmts, list.decls...)
+		} else {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.next() // }
+	return b, nil
+}
+
+// declList is a parser-internal carrier for one declaration line with
+// multiple declarators; it is flattened into the enclosing block.
+type declList struct {
+	stmtBase
+	decls []Stmt
+}
+
+// localDecl parses a local declaration line into one or more DeclStmts.
+func (p *Parser) localDecl() (Stmt, error) {
+	base, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	list := &declList{}
+	for {
+		ty, name, npos, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{stmtBase: stmtBase{Pos: npos}}
+		// The checker creates the symbol; stash name/type via a
+		// placeholder VarSymbol.
+		d.Sym = &VarSymbol{Name: name, Type: ty, Kind: LocalVar, Pos: npos}
+		if p.atPunct("=") {
+			p.next()
+			init, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		list.decls = append(list.decls, d)
+		if !p.atPunct(",") {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// stmt parses one statement.
+func (p *Parser) stmt() (Stmt, error) {
+	if err := p.checkUnsupported(); err != nil {
+		return nil, err
+	}
+	pos := p.cur().Pos
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+
+	case p.atPunct(";"):
+		p.next()
+		return &Empty{stmtBase{Pos: pos}}, nil
+
+	case p.atTypeStart():
+		return p.localDecl()
+
+	case p.atKeyword("if"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els Stmt
+		if p.atKeyword("else") {
+			p.next()
+			els, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{stmtBase: stmtBase{Pos: pos}, Cond: cond, Then: then, Else: els}, nil
+
+	case p.atKeyword("while"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &While{stmtBase: stmtBase{Pos: pos}, Cond: cond, Body: body}, nil
+
+	case p.atKeyword("do"):
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atKeyword("while") {
+			return nil, errf(p.cur().Pos, "expected while after do body")
+		}
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &While{stmtBase: stmtBase{Pos: pos}, Cond: cond, Body: body, DoWhile: true}, nil
+
+	case p.atKeyword("for"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		f := &For{stmtBase: stmtBase{Pos: pos}}
+		var err error
+		if !p.atPunct(";") {
+			if f.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(";") {
+			if f.Cond, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		if !p.atPunct(")") {
+			if f.Post, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if f.Body, err = p.stmt(); err != nil {
+			return nil, err
+		}
+		return f, nil
+
+	case p.atKeyword("return"):
+		p.next()
+		r := &Return{stmtBase: stmtBase{Pos: pos}}
+		if !p.atPunct(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+
+	case p.atKeyword("break"):
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Break{stmtBase{Pos: pos}}, nil
+
+	case p.atKeyword("continue"):
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Continue{stmtBase{Pos: pos}}, nil
+	}
+
+	// migrate_here(); — the explicit poll-point intrinsic.
+	if p.cur().Kind == TokIdent && p.cur().Text == "migrate_here" &&
+		p.peekN(1).Text == "(" && p.peekN(2).Text == ")" {
+		p.next()
+		p.next()
+		p.next()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &PollPoint{stmtBase: stmtBase{Pos: pos}, Origin: "explicit"}, nil
+	}
+
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{stmtBase: stmtBase{Pos: pos}, X: x}, nil
+}
+
+// ---- Expressions ----
+
+func (p *Parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *Parser) assignExpr() (Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Text {
+	case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+		if p.cur().Kind != TokPunct {
+			break
+		}
+		op := p.next().Text
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{exprBase: exprBase{Pos: lhs.Position()}, Op: op, X: lhs, Y: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) condExpr() (Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.atPunct("?") {
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		y, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Cond{exprBase: exprBase{Pos: c.Position()}, C: c, X: x, Y: y}, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence levels, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *Parser) binExpr(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	x, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.atPunct(op) {
+				p.next()
+				y, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &Binary{exprBase: exprBase{Pos: x.Position()}, Op: op, X: x, Y: y}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+// typeName parses a type inside a cast or sizeof: typespec '*'*.
+func (p *Parser) typeName() (*types.Type, error) {
+	t, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") {
+		p.next()
+		t = types.PointerTo(t)
+	}
+	return t, nil
+}
+
+// typeStartAfterParen reports whether "(" begins a cast/typename.
+func (p *Parser) typeStartAfterParen() bool {
+	t := p.peekN(1)
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "char", "short", "int", "long", "float", "double", "void",
+		"unsigned", "signed", "struct", "const":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.atPunct("("):
+		if p.typeStartAfterParen() {
+			p.next() // (
+			to, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Cast{exprBase: exprBase{Pos: pos}, To: to, X: x}, nil
+		}
+
+	case p.atKeyword("sizeof"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		s := &SizeofExpr{exprBase: exprBase{Pos: pos}}
+		if p.atTypeStart() {
+			t, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			s.Of = t
+		} else {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	for _, op := range []string{"++", "--", "-", "+", "!", "~", "*", "&"} {
+		if p.atPunct(op) {
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{exprBase: exprBase{Pos: pos}, Op: op, X: x}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.cur().Pos
+		switch {
+		case p.atPunct("["):
+			p.next()
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{exprBase: exprBase{Pos: pos}, X: x, I: i}
+
+		case p.atPunct("."):
+			p.next()
+			tok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{exprBase: exprBase{Pos: pos}, X: x, Name: tok.Text}
+
+		case p.atPunct("->"):
+			p.next()
+			tok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{exprBase: exprBase{Pos: pos}, X: x, Name: tok.Text, Arrow: true}
+
+		case p.atPunct("++"), p.atPunct("--"):
+			op := p.next().Text
+			x = &Postfix{exprBase: exprBase{Pos: pos}, Op: op, X: x}
+
+		case p.atPunct("("):
+			id, ok := x.(*Ident)
+			if !ok {
+				return nil, errf(pos, "called object is not a function name (function pointers are migration-unsafe)")
+			}
+			p.next()
+			call := &Call{exprBase: exprBase{Pos: id.Pos}, Name: id.Name}
+			for !p.atPunct(")") {
+				if len(call.Args) > 0 {
+					if _, err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // )
+			x = call
+
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case TokIntLit:
+		p.next()
+		return &IntLit{exprBase: exprBase{Pos: tok.Pos}, Val: tok.Int}, nil
+	case TokCharLit:
+		p.next()
+		return &IntLit{exprBase: exprBase{Pos: tok.Pos}, Val: tok.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{exprBase: exprBase{Pos: tok.Pos}, Val: tok.Float}, nil
+	case TokStrLit:
+		p.next()
+		return &StrLit{exprBase: exprBase{Pos: tok.Pos}, Val: tok.Str}, nil
+	case TokIdent:
+		p.next()
+		return &Ident{exprBase: exprBase{Pos: tok.Pos}, Name: tok.Text}, nil
+	case TokPunct:
+		if tok.Text == "(" {
+			p.next()
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	case TokKeyword:
+		if err := p.checkUnsupported(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, errf(tok.Pos, "expected expression, found %s", tok)
+}
+
+func llKind(unsigned bool) arch.PrimKind {
+	if unsigned {
+		return arch.ULongLong
+	}
+	return arch.LongLong
+}

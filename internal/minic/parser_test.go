@@ -1,0 +1,226 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func mustParse(t *testing.T, src string) *ParseTree {
+	t.Helper()
+	tree, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return tree
+}
+
+func TestParseGlobals(t *testing.T) {
+	tree := mustParse(t, `
+		int a, *b, c[10];
+		double m[3][4];
+		unsigned long ul;
+		struct node { float data; struct node *link; };
+		struct node *first, *last;
+	`)
+	if len(tree.Globals) != 7 {
+		t.Fatalf("globals = %d", len(tree.Globals))
+	}
+	if tree.Globals[0].Type != types.Int {
+		t.Error("a should be int")
+	}
+	if tree.Globals[1].Type != types.PointerTo(types.Int) {
+		t.Error("b should be int*")
+	}
+	if tree.Globals[2].Type != types.ArrayOf(types.Int, 10) {
+		t.Error("c should be int[10]")
+	}
+	if tree.Globals[3].Type != types.ArrayOf(types.ArrayOf(types.Double, 4), 3) {
+		t.Errorf("m should be double[3][4], got %s", tree.Globals[3].Type)
+	}
+	if tree.Globals[4].Type != types.ULong {
+		t.Error("ul should be unsigned long")
+	}
+	node := tree.Structs[0]
+	if node.TagName != "node" || len(node.Fields) != 2 {
+		t.Fatalf("struct node malformed: %v", node)
+	}
+	if node.Fields[1].Type != types.PointerTo(node) {
+		t.Error("link should be struct node *")
+	}
+	if tree.Globals[5].Type != types.PointerTo(node) {
+		t.Error("first should be struct node *")
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The example program of the paper's Figure 1(a), adapted to MigC
+	// (migrate_here replaces the implicit poll-point).
+	tree := mustParse(t, `
+		struct node {
+			float data;
+			struct node *link;
+		};
+		struct node *first, *last;
+
+		void foo(struct node **p, int **q) {
+			*p = (struct node *) malloc(sizeof(struct node));
+			migrate_here();
+			(*p)->data = 10.0;
+			(**q)++;
+		}
+
+		int main() {
+			int i;
+			int a, *b;
+			struct node *parray[10];
+			a = 1;
+			b = &a;
+			for (i = 0; i < 10; i++) {
+				foo(parray + i, &b);
+				first = parray[0];
+				last = parray[i];
+				first->link = last;
+				if (i > 0) parray[i]->link = parray[i-1];
+			}
+			return 0;
+		}
+	`)
+	if len(tree.Funcs) != 2 {
+		t.Fatalf("functions = %d", len(tree.Funcs))
+	}
+	foo := tree.Funcs[0]
+	if foo.Name != "foo" || len(foo.Params) != 2 {
+		t.Fatalf("foo malformed")
+	}
+	if foo.Params[0].Type.String() != "struct node**" {
+		t.Errorf("param p type = %s", foo.Params[0].Type)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	tree := mustParse(t, `
+		int main() {
+			int i, n;
+			n = 0;
+			for (i = 0; i < 10; i++) n += i;
+			while (n > 0) { n--; if (n == 5) break; else continue; }
+			do { n++; } while (n < 3);
+			;
+			return n;
+		}
+	`)
+	body := tree.Funcs[0].Body
+	if len(body.Stmts) < 7 {
+		t.Fatalf("statements = %d", len(body.Stmts))
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	mustParse(t, `
+		int g(int x) { return x; }
+		int main() {
+			int a, b, c;
+			int *p;
+			double d;
+			a = b = c = 1;
+			a = (b + c) * 2 - -3 / (a % 2);
+			a = b << 2 | c & 3 ^ 5;
+			a = a < b ? b : a >= c ? c : 0;
+			a = !a && b || c != 0;
+			p = &a;
+			*p = ~a;
+			d = (double)a + 0.5;
+			a = (int)d;
+			a = g(g(a));
+			a = sizeof(int) + sizeof(struct_less);
+			a++;
+			--a;
+			return 0;
+		}
+		int struct_less;
+	`)
+}
+
+func TestParseSizeofForms(t *testing.T) {
+	tree := mustParse(t, `
+		struct s { int x; };
+		int main() {
+			int a;
+			long n;
+			n = sizeof(int);
+			n = sizeof(struct s);
+			n = sizeof(double*);
+			n = sizeof(a);
+			n = sizeof(a + 1);
+			return 0;
+		}
+	`)
+	_ = tree
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"union u { int x; };", "union"},
+		{"int main() { goto l; }", "goto"},
+		{"int main() { switch (1) {} }", "switch"},
+		{"typedef int t;", "typedef"},
+		{"enum e { A };", "enum"},
+		{"static int x;", "storage-class"},
+		{"int f(int a, ...) { return 0; }", "variadic"},
+		{"int main() { int (*fp)(void); }", "expected identifier"},
+		{"int x", "expected"},
+		{"int main() { return 0 }", "expected"},
+		{"int a[0];", "out of range"},
+		{"struct s { };", "no fields"},
+		{"struct s { int x; }; struct s { int y; };", "redefined"},
+		{"int main() { setjmp(buf); }", "setjmp"},
+		{"int main() { unsigned double d; }", "unsigned double"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseFunctionPointerCallRejected(t *testing.T) {
+	_, err := Parse(`int main() { int x; (x + 1)(); return 0; }`)
+	if err == nil || !strings.Contains(err.Error(), "function pointers") {
+		t.Errorf("function-pointer call: %v", err)
+	}
+}
+
+func TestParseMigrateHereIntrinsic(t *testing.T) {
+	tree := mustParse(t, `int main() { migrate_here(); return 0; }`)
+	if _, ok := tree.Funcs[0].Body.Stmts[0].(*PollPoint); !ok {
+		t.Errorf("migrate_here not parsed as poll point: %T", tree.Funcs[0].Body.Stmts[0])
+	}
+}
+
+func TestParseForwardStructPointer(t *testing.T) {
+	tree := mustParse(t, `
+		struct a { struct b *next; };
+		struct b { struct a *prev; };
+		int main() { return 0; }
+	`)
+	if len(tree.Structs) != 2 {
+		t.Fatalf("structs = %d", len(tree.Structs))
+	}
+	if !tree.Structs[0].Complete() || !tree.Structs[1].Complete() {
+		t.Error("structs incomplete")
+	}
+}
+
+func TestParseDoubleConstSkipped(t *testing.T) {
+	mustParse(t, `const int x; int main() { const int y; y = x; return 0; }`)
+}

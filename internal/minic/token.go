@@ -1,0 +1,116 @@
+// Package minic implements the front end for MigC, the migration-safe C
+// subset the reproduction's processes are written in.
+//
+// The package contains a lexer, a recursive-descent parser, a type checker
+// that binds the program to the types package, the migration-safety
+// analyzer (rejecting the unsafe C features identified by Smith and
+// Hutchinson), a live-variable dataflow analysis, and the pre-compiler pass
+// that inserts poll-points and computes each poll-point's live set — the
+// source-to-source transformation step of the paper's Section 2.
+package minic
+
+import "fmt"
+
+// TokKind enumerates the lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokKeyword
+	TokPunct
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	// Text is the token spelling (identifier name, keyword, punctuation).
+	Text string
+	// Int is the value of an integer or character literal.
+	Int uint64
+	// Float is the value of a floating literal.
+	Float float64
+	// Str is the decoded value of a string literal.
+	Str string
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokIntLit:
+		return fmt.Sprintf("integer %d", t.Int)
+	case TokFloatLit:
+		return fmt.Sprintf("float %g", t.Float)
+	case TokCharLit:
+		return fmt.Sprintf("character %q", rune(t.Int))
+	case TokStrLit:
+		return fmt.Sprintf("string %q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords of the MigC language. Unsupported C keywords (union, goto,
+// switch, typedef, ...) are recognized so the parser can report them as
+// unsupported rather than as generic syntax errors.
+var keywords = map[string]bool{
+	"char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "void": true, "unsigned": true,
+	"signed": true, "struct": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	// Recognized but rejected by the parser with a specific message:
+	"union": true, "goto": true, "switch": true, "case": true,
+	"default": true, "typedef": true, "enum": true, "static": true,
+	"extern": true, "register": true, "volatile": true, "const": true,
+	"auto": true, "setjmp": true, "longjmp": true,
+}
+
+// Error is a front-end diagnostic tied to a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrorList collects multiple diagnostics.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	s := l[0].Error()
+	if len(l) > 1 {
+		s += fmt.Sprintf(" (and %d more errors)", len(l)-1)
+	}
+	return s
+}
+
+// Err returns the list as an error, or nil if empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}

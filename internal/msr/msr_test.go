@@ -1,0 +1,273 @@
+package msr
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/memory"
+	"repro/internal/types"
+)
+
+func nodeType(tag string) *types.Type {
+	n := types.NewStruct(tag)
+	n.DefineFields([]types.Field{
+		{Name: "data", Type: types.Float},
+		{Name: "link", Type: types.PointerTo(n)},
+	})
+	return n
+}
+
+func globalID(i uint32) BlockID { return BlockID{Seg: memory.Global, Minor: i} }
+func stackID(d, v uint32) BlockID {
+	return BlockID{Seg: memory.Stack, Major: d, Minor: v}
+}
+
+func TestBlockIDString(t *testing.T) {
+	if got := (BlockID{Seg: memory.Heap, Major: 42}).String(); got != "heap:42" {
+		t.Errorf("heap id = %q", got)
+	}
+	if got := stackID(3, 1).String(); got != "stack:3.1" {
+		t.Errorf("stack id = %q", got)
+	}
+}
+
+func TestRegisterLookup(t *testing.T) {
+	sp := memory.NewSpace(arch.Ultra5)
+	tbl := NewTable()
+	addr, _ := sp.GlobalAlloc(40, 8)
+	b := &Block{ID: globalID(0), Addr: addr, Type: types.ArrayOf(types.Int, 10), Count: 1, Name: "xs"}
+	if err := tbl.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	esz := func(ty *types.Type) int { return ty.SizeOf(arch.Ultra5) }
+
+	got, off, err := tbl.Lookup(addr+8, esz)
+	if err != nil || got != b || off != 8 {
+		t.Errorf("Lookup = %v, %d, %v", got, off, err)
+	}
+	// One past the end is legal.
+	if _, off, err := tbl.Lookup(addr+40, esz); err != nil || off != 40 {
+		t.Errorf("one-past-end lookup: off=%d err=%v", off, err)
+	}
+	// Beyond that is not.
+	if _, _, err := tbl.Lookup(addr+41, esz); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup past block: %v", err)
+	}
+	// Before the block is not found either.
+	if _, _, err := tbl.Lookup(addr-1, esz); !errors.Is(err, ErrNotFound) {
+		t.Errorf("lookup before block: %v", err)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	sp := memory.NewSpace(arch.Ultra5)
+	tbl := NewTable()
+	addr, _ := sp.GlobalAlloc(8, 8)
+	b := &Block{ID: globalID(0), Addr: addr, Type: types.Double, Count: 1}
+	if err := tbl.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	dup := &Block{ID: globalID(0), Addr: addr + 8, Type: types.Double, Count: 1}
+	if err := tbl.Register(dup); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate ID: %v", err)
+	}
+}
+
+func TestSegmentMismatch(t *testing.T) {
+	sp := memory.NewSpace(arch.Ultra5)
+	tbl := NewTable()
+	addr, _ := sp.GlobalAlloc(8, 8)
+	b := &Block{ID: BlockID{Seg: memory.Heap}, Addr: addr, Type: types.Double, Count: 1}
+	if err := tbl.Register(b); err == nil {
+		t.Error("register with mismatched segment succeeded")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	sp := memory.NewSpace(arch.Ultra5)
+	tbl := NewTable()
+	a, _ := sp.Malloc(16)
+	b := &Block{ID: tbl.NextHeapID(), Addr: a, Type: types.Double, Count: 2}
+	if err := tbl.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Unregister(a); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Error("table not empty after unregister")
+	}
+	if err := tbl.Unregister(a); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double unregister: %v", err)
+	}
+	if _, ok := tbl.ByID(b.ID); ok {
+		t.Error("ID still resolvable after unregister")
+	}
+}
+
+func TestLookupManyBlocks(t *testing.T) {
+	sp := memory.NewSpace(arch.SPARC20)
+	tbl := NewTable()
+	esz := func(ty *types.Type) int { return ty.SizeOf(arch.SPARC20) }
+	var blocks []*Block
+	for i := 0; i < 100; i++ {
+		a, _ := sp.Malloc(24)
+		b := &Block{ID: tbl.NextHeapID(), Addr: a, Type: types.Double, Count: 3}
+		if err := tbl.Register(b); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	for _, b := range blocks {
+		got, off, err := tbl.Lookup(b.Addr+16, esz)
+		if err != nil || got != b || off != 16 {
+			t.Fatalf("lookup of %s failed: %v %d %v", b.ID, got, off, err)
+		}
+	}
+	// Search steps should be logarithmic: ~log2(100) per search.
+	perSearch := float64(tbl.Stats.SearchSteps) / float64(tbl.Stats.Searches)
+	if perSearch < 3 || perSearch > 10 {
+		t.Errorf("search steps per lookup = %.1f, expected ~log2(100)≈6.6", perSearch)
+	}
+}
+
+func TestHeapIDSequenceAndFloor(t *testing.T) {
+	tbl := NewTable()
+	id0 := tbl.NextHeapID()
+	id1 := tbl.NextHeapID()
+	if id0.Major != 0 || id1.Major != 1 {
+		t.Errorf("heap sequence: %v %v", id0, id1)
+	}
+	tbl.RestoreFloor(BlockID{Seg: memory.Heap, Major: 50})
+	if id := tbl.NextHeapID(); id.Major != 51 {
+		t.Errorf("after floor, next = %v", id)
+	}
+	// Floor below current must not move backwards.
+	tbl.RestoreFloor(BlockID{Seg: memory.Heap, Major: 10})
+	if id := tbl.NextHeapID(); id.Major != 52 {
+		t.Errorf("floor moved backwards: %v", id)
+	}
+}
+
+func TestResolveAndAddrOf(t *testing.T) {
+	n := nodeType("node1")
+	for _, m := range []*arch.Machine{arch.DEC5000, arch.SPARCV9, arch.I386} {
+		sp := memory.NewSpace(m)
+		tbl := NewTable()
+		a, _ := sp.Malloc(5 * n.SizeOf(m)) // five nodes
+		b := &Block{ID: tbl.NextHeapID(), Addr: a, Type: n, Count: 5}
+		if err := tbl.Register(b); err != nil {
+			t.Fatal(err)
+		}
+		// Pointer to the link field of element 3: ordinal 3*2+1 = 7.
+		addr := a + memory.Address(3*n.SizeOf(m)+n.OffsetOf(m, 1))
+		ref, err := Resolve(tbl, m, addr)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if ref.ID != b.ID || ref.Ordinal != 7 {
+			t.Errorf("%s: ref = %v, want %s+7", m.Name, ref, b.ID)
+		}
+		back, err := AddrOf(tbl, m, ref)
+		if err != nil || back != addr {
+			t.Errorf("%s: AddrOf = %#x, %v; want %#x", m.Name, uint64(back), err, uint64(addr))
+		}
+	}
+}
+
+func TestResolveNull(t *testing.T) {
+	tbl := NewTable()
+	ref, err := Resolve(tbl, arch.Ultra5, 0)
+	if err != nil || !ref.IsNull() {
+		t.Errorf("null resolve: %v, %v", ref, err)
+	}
+	a, err := AddrOf(tbl, arch.Ultra5, NullRef)
+	if err != nil || a != 0 {
+		t.Errorf("null AddrOf: %#x, %v", uint64(a), err)
+	}
+	if NullRef.String() != "null" {
+		t.Error("null ref string")
+	}
+}
+
+func TestResolveOnePastEnd(t *testing.T) {
+	m := arch.Ultra5
+	sp := memory.NewSpace(m)
+	tbl := NewTable()
+	a, _ := sp.Malloc(80)
+	b := &Block{ID: tbl.NextHeapID(), Addr: a, Type: types.Double, Count: 10}
+	tbl.Register(b)
+	ref, err := Resolve(tbl, m, a+80)
+	if err != nil || ref.Ordinal != 10 {
+		t.Errorf("one-past-end: %v, %v", ref, err)
+	}
+	back, err := AddrOf(tbl, m, ref)
+	if err != nil || back != a+80 {
+		t.Errorf("one-past-end AddrOf: %#x, %v", uint64(back), err)
+	}
+}
+
+func TestResolveCrossMachineOrdinalStable(t *testing.T) {
+	// Encode a pointer on a 32-bit LE machine, and verify the ordinal
+	// addresses the same logical element on a 64-bit BE machine.
+	n := nodeType("node2")
+	src, dst := arch.I386, arch.SPARCV9
+
+	mkProc := func(m *arch.Machine) (*memory.Space, *Table, *Block) {
+		sp := memory.NewSpace(m)
+		tbl := NewTable()
+		a, _ := sp.Malloc(4 * n.SizeOf(m))
+		b := &Block{ID: BlockID{Seg: memory.Heap, Major: 7}, Addr: a, Type: n, Count: 4}
+		if err := tbl.Register(b); err != nil {
+			t.Fatal(err)
+		}
+		return sp, tbl, b
+	}
+	_, stbl, sb := mkProc(src)
+	_, dtbl, db := mkProc(dst)
+
+	// &elem[2].link on the source.
+	srcAddr := sb.Addr + memory.Address(2*n.SizeOf(src)+n.OffsetOf(src, 1))
+	ref, err := Resolve(stbl, src, srcAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstAddr, err := AddrOf(dtbl, dst, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := db.Addr + memory.Address(2*n.SizeOf(dst)+n.OffsetOf(dst, 1))
+	if dstAddr != want {
+		t.Errorf("cross-machine translation: got %#x, want %#x", uint64(dstAddr), uint64(want))
+	}
+}
+
+func TestAddrOfErrors(t *testing.T) {
+	tbl := NewTable()
+	if _, err := AddrOf(tbl, arch.Ultra5, Ref{ID: BlockID{Seg: memory.Heap, Major: 9}}); !errors.Is(err, ErrUnknownID) {
+		t.Errorf("unknown id: %v", err)
+	}
+	sp := memory.NewSpace(arch.Ultra5)
+	a, _ := sp.Malloc(8)
+	b := &Block{ID: tbl.NextHeapID(), Addr: a, Type: types.Double, Count: 1}
+	tbl.Register(b)
+	if _, err := AddrOf(tbl, arch.Ultra5, Ref{ID: b.ID, Ordinal: 5}); !errors.Is(err, ErrBadOrdinal) {
+		t.Errorf("bad ordinal: %v", err)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	tbl := NewTable()
+	sp := memory.NewSpace(arch.Ultra5)
+	a, _ := sp.Malloc(8)
+	tbl.Register(&Block{ID: tbl.NextHeapID(), Addr: a, Type: types.Double, Count: 1})
+	tbl.Lookup(a, func(ty *types.Type) int { return 8 })
+	if tbl.Stats.Searches == 0 || tbl.Stats.Registrations == 0 {
+		t.Error("stats not counted")
+	}
+	tbl.ResetStats()
+	if tbl.Stats.Searches != 0 {
+		t.Error("stats not reset")
+	}
+}

@@ -1,0 +1,342 @@
+// Package sched models the distributed process migration environment of
+// the paper's Section 2: a set of nodes (machines) running migratable
+// processes, and a scheduler that performs process management and sends
+// migration requests to processes.
+//
+// The scheduler conducts a migration exactly as the paper describes: the
+// destination node is invoked to wait for the execution and memory states
+// of the migrating process; the migrating process collects that
+// information at its next poll-point and sends it; after successful
+// transmission the source process terminates while the new process
+// restores the state and resumes from the migration point.
+//
+// Nodes here live in one OS process connected by in-memory transports,
+// which keeps experiments deterministic; cmd/migd runs the same protocol
+// between real OS processes over TCP.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// Node is one machine in the distributed environment.
+type Node struct {
+	Name string
+	Mach *arch.Machine
+
+	mu     sync.Mutex
+	active int
+}
+
+// Active returns the number of processes currently hosted by the node,
+// the load metric used by the balancing policy.
+func (n *Node) Active() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.active
+}
+
+func (n *Node) adjust(d int) {
+	n.mu.Lock()
+	n.active += d
+	n.mu.Unlock()
+}
+
+// MigrationRecord documents one completed migration of a process.
+type MigrationRecord struct {
+	From, To string
+	Timing   core.Timing
+	At       time.Time
+}
+
+// Outcome is the final result of a process's lifetime in the cluster.
+type Outcome struct {
+	ExitCode   int
+	Node       string
+	Migrations []MigrationRecord
+	Err        error
+}
+
+// Handle tracks one process managed by the scheduler.
+type Handle struct {
+	ID int
+
+	mu         sync.Mutex
+	dest       string // pending migration destination ("" = none)
+	node       *Node
+	migrations []MigrationRecord
+
+	done chan *Outcome
+	once sync.Once
+}
+
+// Migrate asks the scheduler to move the process to the named node at its
+// next poll-point. A later call overrides an unserved earlier one.
+func (h *Handle) Migrate(dest string) {
+	h.mu.Lock()
+	h.dest = dest
+	h.mu.Unlock()
+}
+
+// pendingDest consumes the pending destination, if any.
+func (h *Handle) pendingDest() (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dest == "" {
+		return "", false
+	}
+	d := h.dest
+	h.dest = ""
+	return d, true
+}
+
+// Where reports the node currently hosting the process.
+func (h *Handle) Where() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.node.Name
+}
+
+// Wait blocks until the process completes and returns its outcome.
+func (h *Handle) Wait() *Outcome { return <-h.done }
+
+func (h *Handle) finish(o *Outcome) {
+	h.once.Do(func() {
+		h.mu.Lock()
+		o.Migrations = append([]MigrationRecord{}, h.migrations...)
+		h.mu.Unlock()
+		h.done <- o
+	})
+}
+
+// Cluster is the distributed environment: nodes plus the scheduler state.
+type Cluster struct {
+	engine *core.Engine
+
+	mu     sync.Mutex
+	nodes  map[string]*Node
+	order  []string
+	nextID int
+
+	// Configure is applied to every process the cluster creates or
+	// restores (step limits, stdout, instrumentation).
+	Configure func(*vm.Process)
+}
+
+// NewCluster builds a cluster running the given engine.
+func NewCluster(e *core.Engine) *Cluster {
+	return &Cluster{engine: e, nodes: map[string]*Node{}}
+}
+
+// AddNode registers a machine under a node name.
+func (c *Cluster) AddNode(name string, m *arch.Machine) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := &Node{Name: name, Mach: m}
+	c.nodes[name] = n
+	c.order = append(c.order, name)
+	return n
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// Nodes returns node names in registration order.
+func (c *Cluster) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string{}, c.order...)
+}
+
+// Spawn starts the program on the named node and returns its handle.
+func (c *Cluster) Spawn(nodeName string) (*Handle, error) {
+	node := c.Node(nodeName)
+	if node == nil {
+		return nil, fmt.Errorf("sched: unknown node %q", nodeName)
+	}
+	proc, err := c.engine.NewProcess(node.Mach)
+	if err != nil {
+		return nil, err
+	}
+	if c.Configure != nil {
+		c.Configure(proc)
+	}
+	c.mu.Lock()
+	c.nextID++
+	h := &Handle{ID: c.nextID, node: node, done: make(chan *Outcome, 1)}
+	c.mu.Unlock()
+	node.adjust(1)
+	go c.runLoop(h, node, proc)
+	return h, nil
+}
+
+// runLoop drives a process through its lifetime, serving migration
+// requests as they are granted at poll-points.
+func (c *Cluster) runLoop(h *Handle, node *Node, proc *vm.Process) {
+	for {
+		proc.PollHook = func(*vm.Process, *minic.Site) bool {
+			_, pending := peekDest(h)
+			return pending
+		}
+		res, err := proc.Run()
+		if err != nil {
+			node.adjust(-1)
+			h.finish(&Outcome{Node: node.Name, Err: err})
+			return
+		}
+		if !res.Migrated {
+			node.adjust(-1)
+			h.finish(&Outcome{ExitCode: res.ExitCode, Node: node.Name})
+			return
+		}
+
+		destName, ok := h.pendingDest()
+		if !ok {
+			// Request vanished between poll and service; resume locally
+			// by restoring on the same node.
+			destName = node.Name
+		}
+		dest := c.Node(destName)
+		if dest == nil {
+			node.adjust(-1)
+			h.finish(&Outcome{Node: node.Name, Err: fmt.Errorf("sched: migration to unknown node %q", destName)})
+			return
+		}
+
+		// Remote invocation: the destination process waits for state
+		// while the source transmits it.
+		a, b := link.Pipe()
+		type recvRes struct {
+			q   *vm.Process
+			t   core.Timing
+			err error
+		}
+		recvc := make(chan recvRes, 1)
+		go func() {
+			q, rt, rerr := c.engine.ReceiveAndRestore(b, dest.Mach)
+			recvc <- recvRes{q, rt, rerr}
+		}()
+		tx, err := c.engine.Send(a, proc.Mach, res.State)
+		rr := <-recvc
+		a.Close()
+		b.Close()
+		if err == nil {
+			err = rr.err
+		}
+		if err != nil {
+			node.adjust(-1)
+			h.finish(&Outcome{Node: node.Name, Err: err})
+			return
+		}
+
+		rec := MigrationRecord{
+			From: node.Name,
+			To:   dest.Name,
+			At:   time.Now(),
+			Timing: core.Timing{
+				Collect: proc.CaptureStats().Elapsed,
+				Tx:      tx.Tx,
+				Restore: rr.t.Restore,
+				Bytes:   tx.Bytes,
+			},
+		}
+		h.mu.Lock()
+		h.migrations = append(h.migrations, rec)
+		h.node = dest
+		h.mu.Unlock()
+
+		node.adjust(-1)
+		dest.adjust(1)
+
+		// The source process terminates; the restored process continues.
+		proc = rr.q
+		if c.Configure != nil {
+			c.Configure(proc)
+		}
+		node = dest
+	}
+}
+
+// peekDest reports whether a migration request is pending without
+// consuming it.
+func peekDest(h *Handle) (string, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dest, h.dest != ""
+}
+
+// ErrNoNodes is returned by policies when the cluster is empty.
+var ErrNoNodes = errors.New("sched: cluster has no nodes")
+
+// LeastLoaded returns the node with the fewest active processes,
+// breaking ties by registration order.
+func (c *Cluster) LeastLoaded() (*Node, error) {
+	c.mu.Lock()
+	names := append([]string{}, c.order...)
+	c.mu.Unlock()
+	if len(names) == 0 {
+		return nil, ErrNoNodes
+	}
+	best := c.Node(names[0])
+	for _, n := range names[1:] {
+		if cand := c.Node(n); cand.Active() < best.Active() {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// Rebalance plans migrations from the most to the least loaded node until
+// the planned loads differ by at most one. Moves take effect at each
+// process's next poll-point. It returns the handles asked to move.
+func (c *Cluster) Rebalance(handles []*Handle) []*Handle {
+	names := c.Nodes()
+	if len(names) == 0 {
+		return nil
+	}
+	planned := map[string]int{}
+	for _, name := range names {
+		planned[name] = c.Node(name).Active()
+	}
+	onNode := map[string][]*Handle{}
+	for _, h := range handles {
+		if _, pending := peekDest(h); !pending {
+			where := h.Where()
+			onNode[where] = append(onNode[where], h)
+		}
+	}
+	var moved []*Handle
+	for {
+		lo, hi := names[0], names[0]
+		for _, n := range names[1:] {
+			if planned[n] < planned[lo] {
+				lo = n
+			}
+			if planned[n] > planned[hi] {
+				hi = n
+			}
+		}
+		if planned[hi]-planned[lo] <= 1 || len(onNode[hi]) == 0 {
+			return moved
+		}
+		pick := onNode[hi][0]
+		onNode[hi] = onNode[hi][1:]
+		pick.Migrate(lo)
+		planned[hi]--
+		planned[lo]++
+		moved = append(moved, pick)
+	}
+}

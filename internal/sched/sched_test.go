@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// slowLoop runs long enough that the scheduler can interject migrations.
+const slowLoop = `
+	int main() {
+		int i, s;
+		s = 0;
+		for (i = 0; i < 2000; i++) {
+			s = (s + i) % 9973;
+		}
+		return s;
+	}
+`
+
+func testCluster(t *testing.T, src string) *Cluster {
+	t.Helper()
+	e, err := core.NewEngine(src, minic.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(e)
+	c.Configure = func(p *vm.Process) { p.MaxSteps = 50_000_000 }
+	c.AddNode("dec", arch.DEC5000)
+	c.AddNode("sparc", arch.SPARC20)
+	c.AddNode("ultra", arch.Ultra5)
+	return c
+}
+
+func TestSpawnAndComplete(t *testing.T) {
+	c := testCluster(t, slowLoop)
+	h, err := c.Spawn("dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := h.Wait()
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Node != "dec" || len(o.Migrations) != 0 {
+		t.Errorf("outcome = %+v", o)
+	}
+	if c.Node("dec").Active() != 0 {
+		t.Error("node load not released")
+	}
+}
+
+func TestSpawnUnknownNode(t *testing.T) {
+	c := testCluster(t, slowLoop)
+	if _, err := c.Spawn("nebula"); err == nil {
+		t.Error("spawn on unknown node succeeded")
+	}
+}
+
+func TestScheduledMigration(t *testing.T) {
+	c := testCluster(t, slowLoop)
+	h, err := c.Spawn("dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Migrate("sparc")
+	o := h.Wait()
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Node != "sparc" {
+		t.Errorf("finished on %s, want sparc", o.Node)
+	}
+	if len(o.Migrations) != 1 || o.Migrations[0].From != "dec" || o.Migrations[0].To != "sparc" {
+		t.Errorf("migrations = %+v", o.Migrations)
+	}
+	if o.Migrations[0].Timing.Bytes == 0 {
+		t.Error("no transfer bytes recorded")
+	}
+}
+
+func TestMigrationChainAcrossThreeNodes(t *testing.T) {
+	// Use a handle-driven chain: dec -> sparc -> ultra. The second
+	// request is raised once the first completes.
+	c := testCluster(t, slowLoop)
+	h, err := c.Spawn("dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Migrate("sparc")
+	// Wait until the first migration is recorded, then request another.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Where() != "sparc" {
+		if time.Now().After(deadline) {
+			t.Fatal("first migration never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Migrate("ultra")
+	o := h.Wait()
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	// The program may have finished on sparc if it completed before the
+	// second request was served; accept either but require the first hop.
+	if len(o.Migrations) < 1 {
+		t.Fatalf("migrations = %+v", o.Migrations)
+	}
+	if o.Migrations[0].From != "dec" || o.Migrations[0].To != "sparc" {
+		t.Errorf("first hop = %+v", o.Migrations[0])
+	}
+	if len(o.Migrations) == 2 && o.Node != "ultra" {
+		t.Errorf("two hops but finished on %s", o.Node)
+	}
+}
+
+func TestMigrationToUnknownNodeFails(t *testing.T) {
+	c := testCluster(t, slowLoop)
+	h, _ := c.Spawn("dec")
+	h.Migrate("atlantis")
+	o := h.Wait()
+	if o.Err == nil {
+		t.Error("migration to unknown node did not error")
+	}
+}
+
+func TestResultCorrectAcrossMigration(t *testing.T) {
+	// Compare against a run without migration.
+	e, err := core.NewEngine(slowLoop, minic.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e.NewProcess(arch.Ultra5)
+	p.MaxSteps = 50_000_000
+	ref, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := testCluster(t, slowLoop)
+	h, _ := c.Spawn("dec")
+	h.Migrate("ultra")
+	o := h.Wait()
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.ExitCode != ref.ExitCode {
+		t.Errorf("migrated exit = %d, reference = %d", o.ExitCode, ref.ExitCode)
+	}
+}
+
+func TestLeastLoadedAndRebalance(t *testing.T) {
+	c := testCluster(t, slowLoop)
+	var handles []*Handle
+	for i := 0; i < 6; i++ {
+		h, err := c.Spawn("dec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if c.Node("dec").Active() != 6 {
+		t.Fatalf("dec load = %d", c.Node("dec").Active())
+	}
+	lo, err := c.LeastLoaded()
+	if err != nil || lo.Name == "dec" {
+		t.Errorf("least loaded = %v, %v", lo, err)
+	}
+	moved := c.Rebalance(handles)
+	if len(moved) != 4 { // 6,0,0 -> 2,2,2
+		t.Errorf("rebalance moved %d processes, want 4", len(moved))
+	}
+	for _, h := range handles {
+		o := h.Wait()
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	// After everything finishes, all loads return to zero.
+	for _, n := range c.Nodes() {
+		if c.Node(n).Active() != 0 {
+			t.Errorf("node %s load = %d after completion", n, c.Node(n).Active())
+		}
+	}
+}
+
+func TestManyConcurrentProcesses(t *testing.T) {
+	c := testCluster(t, slowLoop)
+	var handles []*Handle
+	targets := []string{"sparc", "ultra", "dec"}
+	for i := 0; i < 12; i++ {
+		h, err := c.Spawn(c.Nodes()[i%3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Migrate(targets[i%3])
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		o := h.Wait()
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+}
+
+func TestLeastLoadedEmptyCluster(t *testing.T) {
+	e, _ := core.NewEngine(slowLoop, minic.DefaultPolicy)
+	c := NewCluster(e)
+	if _, err := c.LeastLoaded(); err != ErrNoNodes {
+		t.Errorf("empty cluster: %v", err)
+	}
+}

@@ -1,0 +1,160 @@
+package types
+
+import (
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"sync"
+
+	"repro/internal/arch"
+)
+
+// TI is the Type Information table of the paper: the registry of every type
+// a process's memory blocks can have, linked into the process when the
+// executable is generated. It assigns each type a stable small index — the
+// wire representation of a type — and caches the compiled saving/restoring
+// plans per machine.
+//
+// Because the migratable program is pre-distributed and compiled on every
+// potential destination machine, both ends of a migration construct the TI
+// table from the same source program, and the indices agree. The Digest
+// lets the migration protocol verify that agreement before trusting the
+// stream.
+type TI struct {
+	mu    sync.Mutex
+	types []*Type
+	index map[*Type]int
+	plans map[planKey]*Plan
+}
+
+type planKey struct {
+	t *Type
+	m *arch.Machine
+}
+
+// NewTI returns an empty TI table.
+func NewTI() *TI {
+	return &TI{
+		index: make(map[*Type]int),
+		plans: make(map[planKey]*Plan),
+	}
+}
+
+// Add registers t (and, transitively, every type reachable from it) and
+// returns its index. Adding an already-registered type is a no-op returning
+// the existing index.
+func (ti *TI) Add(t *Type) int {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	return ti.add(t)
+}
+
+func (ti *TI) add(t *Type) int {
+	if i, ok := ti.index[t]; ok {
+		return i
+	}
+	i := len(ti.types)
+	ti.types = append(ti.types, t)
+	ti.index[t] = i
+	switch t.Kind {
+	case KPointer, KArray:
+		ti.add(t.Elem)
+	case KStruct:
+		for _, f := range t.Fields {
+			ti.add(f.Type)
+		}
+	}
+	return i
+}
+
+// Index returns the index of a registered type. The second result is false
+// if the type was never added.
+func (ti *TI) Index(t *Type) (int, bool) {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	i, ok := ti.index[t]
+	return i, ok
+}
+
+// MustIndex returns the index of a registered type, panicking if absent —
+// the process invariant is that every live block's type was registered when
+// the executable was generated.
+func (ti *TI) MustIndex(t *Type) int {
+	i, ok := ti.Index(t)
+	if !ok {
+		panic(fmt.Sprintf("types: type %s not in TI table", t))
+	}
+	return i
+}
+
+// At returns the type with the given index.
+func (ti *TI) At(i int) (*Type, error) {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	if i < 0 || i >= len(ti.types) {
+		return nil, fmt.Errorf("types: TI index %d out of range (table has %d)", i, len(ti.types))
+	}
+	return ti.types[i], nil
+}
+
+// Len returns the number of registered types.
+func (ti *TI) Len() int {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	return len(ti.types)
+}
+
+// Plan returns the compiled saving/restoring plan for t on machine m,
+// compiling and caching it on first use. This is the paper's "memory block
+// saving and restoring function" generation step.
+func (ti *TI) Plan(t *Type, m *arch.Machine) *Plan {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	k := planKey{t, m}
+	if p, ok := ti.plans[k]; ok {
+		return p
+	}
+	p := NewPlan(t, m)
+	ti.plans[k] = p
+	return p
+}
+
+// Digest returns a checksum over the definitions of all registered types,
+// in registration order. Two processes built from the same program produce
+// the same digest; the migration protocol refuses streams whose digest
+// differs.
+func (ti *TI) Digest() uint32 {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	h := crc32.NewIEEE()
+	for i, t := range ti.types {
+		fmt.Fprintf(h, "%d:%s\n", i, t.Definition())
+	}
+	return h.Sum32()
+}
+
+// Types returns the registered types in index order.
+func (ti *TI) Types() []*Type {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	out := make([]*Type, len(ti.types))
+	copy(out, ti.types)
+	return out
+}
+
+// Summary returns a human-readable dump of the table, used by the
+// pre-compiler's -dump-ti flag.
+func (ti *TI) Summary(m *arch.Machine) string {
+	ti.mu.Lock()
+	ts := make([]*Type, len(ti.types))
+	copy(ts, ti.types)
+	ti.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "TI table: %d types (digest %08x) on %s\n", len(ts), ti.Digest(), m.Name)
+	for i, t := range ts {
+		fmt.Fprintf(&b, "%4d  %-28s size=%-4d align=%-2d scalars=%-5d ptr=%v\n",
+			i, t.String(), t.SizeOf(m), t.AlignOf(m), t.ScalarCount(), t.HasPointer())
+	}
+	return b.String()
+}

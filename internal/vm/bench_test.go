@@ -1,0 +1,152 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/minic"
+)
+
+// compileBench builds a program once for benchmarking.
+func compileBench(b *testing.B, src string, policy minic.PollPolicy) *minic.Program {
+	b.Helper()
+	prog, err := minic.Compile(src, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// BenchmarkInterpreterThroughput measures raw statement execution rate on
+// a tight arithmetic loop, the VM's hot path.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	prog := compileBench(b, `
+		int main() {
+			int i, s;
+			s = 0;
+			for (i = 0; i < 100000; i++) {
+				s = s * 3 + i;
+			}
+			return s & 255;
+		}
+	`, minic.PollPolicy{})
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		p, err := NewProcess(prog, arch.Ultra5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.MaxSteps = 10_000_000
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps += p.Stats.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkCallOverhead measures function call cost including frame
+// registration in the MSRLT.
+func BenchmarkCallOverhead(b *testing.B) {
+	prog := compileBench(b, `
+		int leaf(int x) { return x + 1; }
+		int main() {
+			int i, s;
+			s = 0;
+			for (i = 0; i < 20000; i++) {
+				s = leaf(s);
+			}
+			return s & 255;
+		}
+	`, minic.PollPolicy{})
+	for _, disable := range []bool{false, true} {
+		name := "msrlt-on"
+		if disable {
+			name = "msrlt-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := NewProcess(prog, arch.Ultra5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.MaxSteps = 10_000_000
+				p.DisableMigration = disable
+				if _, err := p.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMallocPath measures the allocation path including MSRLT
+// registration.
+func BenchmarkMallocPath(b *testing.B) {
+	prog := compileBench(b, `
+		struct node { float v; struct node *next; };
+		int main() {
+			int i;
+			struct node *p;
+			for (i = 0; i < 10000; i++) {
+				p = (struct node *) malloc(sizeof(struct node));
+				p->v = i;
+				free(p);
+			}
+			return 0;
+		}
+	`, minic.PollPolicy{})
+	for i := 0; i < b.N; i++ {
+		p, err := NewProcess(prog, arch.Ultra5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.MaxSteps = 10_000_000
+		if _, err := p.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResumeFastForward measures how quickly a restored process
+// reaches its migration point through deep nesting.
+func BenchmarkResumeFastForward(b *testing.B) {
+	prog := compileBench(b, `
+		int deep(int n) {
+			int r;
+			if (n == 0) {
+				migrate_here();
+				return 1;
+			}
+			r = deep(n - 1);
+			return r + 1;
+		}
+		int main() {
+			int v;
+			v = deep(50);
+			return v;
+		}
+	`, minic.PollPolicy{})
+	p, err := NewProcess(prog, arch.Ultra5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.MaxSteps = 1_000_000
+	p.PollHook = func(*Process, *minic.Site) bool { return true }
+	res, err := p.Run()
+	if err != nil || !res.Migrated {
+		b.Fatal("setup failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := RestoreProcess(prog, arch.Ultra5, res.State)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.MaxSteps = 1_000_000
+		if _, err := q.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

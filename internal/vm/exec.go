@@ -1,0 +1,694 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/minic"
+	"repro/internal/msr"
+	"repro/internal/types"
+)
+
+// execStmt executes one statement in frame f.
+func (p *Process) execStmt(f *Frame, s minic.Stmt) (ctrl, error) {
+	p.Stats.Steps++
+	if p.MaxSteps > 0 && p.Stats.Steps > p.MaxSteps {
+		return ctrlNext, ErrStepLimit
+	}
+	if p.trace != nil {
+		p.tracef("%s %s [%s]", s.Position(), stmtKind(s), f.Fn.Name)
+	}
+	switch st := s.(type) {
+	case *minic.Block:
+		return p.execBlockFrom(f, st, 0)
+
+	case *minic.Empty:
+		return ctrlNext, nil
+
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			v, err := p.evalExpr(f, st.Init)
+			if err != nil {
+				return ctrlNext, err
+			}
+			addr := p.VarAddr(f, st.Sym)
+			if err := p.storeValue(addr, st.Sym.Type, p.convert(v, st.Sym.Type)); err != nil {
+				return ctrlNext, err
+			}
+		}
+		return ctrlNext, nil
+
+	case *minic.ExprStmt:
+		if st.Site != nil {
+			f.curSite = st.Site
+			defer func() { f.curSite = nil }()
+		}
+		_, err := p.evalExpr(f, st.X)
+		if err != nil {
+			if me, ok := err.(*migrateSignal); ok {
+				_ = me
+				return ctrlMigrate, nil
+			}
+			return ctrlNext, err
+		}
+		return ctrlNext, nil
+
+	case *minic.If:
+		c, err := p.evalExpr(f, st.Cond)
+		if err != nil {
+			return ctrlNext, err
+		}
+		if c.asBool() {
+			return p.execStmt(f, st.Then)
+		}
+		if st.Else != nil {
+			return p.execStmt(f, st.Else)
+		}
+		return ctrlNext, nil
+
+	case *minic.While:
+		if st.DoWhile {
+			for {
+				c, err := p.execStmt(f, st.Body)
+				if err != nil {
+					return ctrlNext, err
+				}
+				switch c {
+				case ctrlBreak:
+					return ctrlNext, nil
+				case ctrlReturn, ctrlMigrate:
+					return c, nil
+				}
+				cond, err := p.evalExpr(f, st.Cond)
+				if err != nil {
+					return ctrlNext, err
+				}
+				if !cond.asBool() {
+					return ctrlNext, nil
+				}
+			}
+		}
+		for {
+			cond, err := p.evalExpr(f, st.Cond)
+			if err != nil {
+				return ctrlNext, err
+			}
+			if !cond.asBool() {
+				return ctrlNext, nil
+			}
+			c, err := p.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNext, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNext, nil
+			case ctrlReturn, ctrlMigrate:
+				return c, nil
+			}
+		}
+
+	case *minic.For:
+		if st.Init != nil {
+			if _, err := p.evalExpr(f, st.Init); err != nil {
+				return ctrlNext, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := p.evalExpr(f, st.Cond)
+				if err != nil {
+					return ctrlNext, err
+				}
+				if !cond.asBool() {
+					return ctrlNext, nil
+				}
+			}
+			c, err := p.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNext, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNext, nil
+			case ctrlReturn, ctrlMigrate:
+				return c, nil
+			}
+			if st.Post != nil {
+				if _, err := p.evalExpr(f, st.Post); err != nil {
+					return ctrlNext, err
+				}
+			}
+		}
+
+	case *minic.Return:
+		if st.X != nil {
+			v, err := p.evalExpr(f, st.X)
+			if err != nil {
+				return ctrlNext, err
+			}
+			f.retVal = p.convert(v, f.Fn.Result)
+		}
+		return ctrlReturn, nil
+
+	case *minic.Break:
+		return ctrlBreak, nil
+	case *minic.Continue:
+		return ctrlContinue, nil
+
+	case *minic.PollPoint:
+		if p.DisableMigration {
+			return ctrlNext, nil
+		}
+		p.Stats.PollChecks++
+		if p.PollHook != nil && p.PollHook(p, st.Site) {
+			if p.trace != nil {
+				p.tracef("migrating at site %d", st.Site.ID)
+			}
+			state, err := p.captureState(st.Site)
+			if err != nil {
+				return ctrlNext, fmt.Errorf("vm: migration capture failed: %w", err)
+			}
+			p.migrated = state
+			return ctrlMigrate, nil
+		}
+		return ctrlNext, nil
+	}
+	return ctrlNext, rtErr(s.Position(), "internal: unhandled statement %T", s)
+}
+
+// execBlockFrom executes a block's statements starting at index start.
+func (p *Process) execBlockFrom(f *Frame, b *minic.Block, start int) (ctrl, error) {
+	for i := start; i < len(b.Stmts); i++ {
+		c, err := p.execStmt(f, b.Stmts[i])
+		if err != nil {
+			return ctrlNext, err
+		}
+		if c != ctrlNext {
+			return c, nil
+		}
+	}
+	return ctrlNext, nil
+}
+
+// migrateSignal propagates migration out of expression evaluation (a
+// migratory callee triggered a capture while evaluating a call).
+type migrateSignal struct{}
+
+func (*migrateSignal) Error() string { return "vm: migration in progress" }
+
+// evalCall dispatches builtin and user function calls.
+func (p *Process) evalCall(f *Frame, x *minic.Call) (value, error) {
+	if x.Builtin != "" {
+		return p.evalBuiltin(f, x)
+	}
+	fn := x.Func
+	// Evaluate arguments in the caller's frame.
+	args := make([]value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := p.evalExpr(f, a)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	p.Stats.Calls++
+	if p.trace != nil {
+		p.tracef("call %s", fn.Name)
+	}
+	nf, err := p.pushFrame(fn)
+	if err != nil {
+		return value{}, err
+	}
+	for i, pv := range fn.Params {
+		addr := p.VarAddr(nf, pv)
+		if err := p.storeValue(addr, pv.Type, p.convert(args[i], pv.Type)); err != nil {
+			return value{}, err
+		}
+	}
+	c, err := p.execStmt(nf, fn.Body)
+	if err != nil {
+		return value{}, err
+	}
+	if c == ctrlMigrate {
+		// Leave the frames in place for the captured image; unwind via
+		// the signal error so enclosing expressions stop evaluating.
+		return value{}, &migrateSignal{}
+	}
+	ret := nf.retVal
+	if err := p.popFrame(); err != nil {
+		return value{}, err
+	}
+	if fn.Result.IsVoid() {
+		return value{t: types.Void}, nil
+	}
+	return ret, nil
+}
+
+// execResumeFrame fast-forwards frame f to its recorded site and continues
+// execution to the end of the function. The caller pops the frame.
+func (p *Process) execResumeFrame(f *Frame) (ctrl, error) {
+	site := p.resumeSites[f.Depth-1]
+	if site == nil {
+		return ctrlNext, fmt.Errorf("vm: no resume site for frame %d (%s)", f.Depth, f.Fn.Name)
+	}
+	return p.execChain(f, site, 0)
+}
+
+// execChain descends the site's ancestor chain: statements before the
+// chain element are skipped (their effects are part of the restored
+// state); the chain element itself is entered; after it completes, the
+// remainder executes normally.
+func (p *Process) execChain(f *Frame, site *minic.Site, idx int) (ctrl, error) {
+	cur := site.Chain[idx]
+
+	// The site statement itself.
+	if idx == len(site.Chain)-1 {
+		switch st := cur.(type) {
+		case *minic.PollPoint:
+			// Execution resumes immediately after the poll at which
+			// migration occurred.
+			return ctrlNext, nil
+		case *minic.ExprStmt:
+			return p.resumeCallSite(f, st)
+		default:
+			return ctrlNext, rtErr(cur.Position(), "internal: bad site statement %T", cur)
+		}
+	}
+
+	next := site.Chain[idx+1]
+	switch st := cur.(type) {
+	case *minic.Block:
+		pos := -1
+		for i, sub := range st.Stmts {
+			if sub == next {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return ctrlNext, rtErr(cur.Position(), "internal: resume chain broken in block")
+		}
+		c, err := p.execChain(f, site, idx+1)
+		if err != nil || c != ctrlNext {
+			return c, err
+		}
+		return p.execBlockFrom(f, st, pos+1)
+
+	case *minic.If:
+		// Enter the branch on the chain; the condition was already
+		// decided before migration.
+		return p.execChain(f, site, idx+1)
+
+	case *minic.While:
+		c, err := p.execChain(f, site, idx+1)
+		if err != nil {
+			return ctrlNext, err
+		}
+		switch c {
+		case ctrlBreak:
+			return ctrlNext, nil
+		case ctrlReturn, ctrlMigrate:
+			return c, nil
+		}
+		if st.DoWhile {
+			// Fall into the do-while loop's test-then-iterate cycle.
+			for {
+				cond, err := p.evalExpr(f, st.Cond)
+				if err != nil {
+					return ctrlNext, err
+				}
+				if !cond.asBool() {
+					return ctrlNext, nil
+				}
+				c, err := p.execStmt(f, st.Body)
+				if err != nil {
+					return ctrlNext, err
+				}
+				switch c {
+				case ctrlBreak:
+					return ctrlNext, nil
+				case ctrlReturn, ctrlMigrate:
+					return c, nil
+				}
+			}
+		}
+		// Continue the while loop normally.
+		for {
+			cond, err := p.evalExpr(f, st.Cond)
+			if err != nil {
+				return ctrlNext, err
+			}
+			if !cond.asBool() {
+				return ctrlNext, nil
+			}
+			c, err := p.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNext, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNext, nil
+			case ctrlReturn, ctrlMigrate:
+				return c, nil
+			}
+		}
+
+	case *minic.For:
+		c, err := p.execChain(f, site, idx+1)
+		if err != nil {
+			return ctrlNext, err
+		}
+		switch c {
+		case ctrlBreak:
+			return ctrlNext, nil
+		case ctrlReturn, ctrlMigrate:
+			return c, nil
+		}
+		// Resume the loop: post, then test, then iterate normally.
+		for {
+			if st.Post != nil {
+				if _, err := p.evalExpr(f, st.Post); err != nil {
+					return ctrlNext, err
+				}
+			}
+			if st.Cond != nil {
+				cond, err := p.evalExpr(f, st.Cond)
+				if err != nil {
+					return ctrlNext, err
+				}
+				if !cond.asBool() {
+					return ctrlNext, nil
+				}
+			}
+			c, err := p.execStmt(f, st.Body)
+			if err != nil {
+				return ctrlNext, err
+			}
+			switch c {
+			case ctrlBreak:
+				return ctrlNext, nil
+			case ctrlReturn, ctrlMigrate:
+				return c, nil
+			}
+		}
+	}
+	return ctrlNext, rtErr(cur.Position(), "internal: bad resume chain element %T", cur)
+}
+
+// resumeCallSite re-enters the callee frame at a migratory call statement
+// and completes the statement when the callee returns.
+func (p *Process) resumeCallSite(f *Frame, st *minic.ExprStmt) (ctrl, error) {
+	// Find the call and optional assignment target.
+	var call *minic.Call
+	var target *minic.Ident
+	switch x := st.X.(type) {
+	case *minic.Call:
+		call = x
+	case *minic.Assign:
+		target, _ = x.X.(*minic.Ident)
+		c, ok := x.Y.(*minic.Call)
+		if !ok {
+			// The call may sit under parentheses-free casts; unwrap.
+			if cast, okc := x.Y.(*minic.Cast); okc {
+				c, ok = cast.X.(*minic.Call)
+			}
+			if !ok {
+				return ctrlNext, rtErr(st.Position(), "internal: unresumable call statement shape")
+			}
+		}
+		call = c
+	default:
+		return ctrlNext, rtErr(st.Position(), "internal: unresumable call statement shape")
+	}
+
+	if f.Depth >= len(p.frames) {
+		return ctrlNext, rtErr(st.Position(), "resume state missing callee frame")
+	}
+	callee := p.frames[f.Depth]
+	if callee.Fn != call.Func {
+		return ctrlNext, rtErr(st.Position(), "resume state frame mismatch: have %s, call is to %s",
+			callee.Fn.Name, call.Func.Name)
+	}
+	f.curSite = st.Site
+	c, err := p.execResumeFrame(callee)
+	f.curSite = nil
+	if err != nil {
+		return ctrlNext, err
+	}
+	if c == ctrlMigrate {
+		return ctrlMigrate, nil
+	}
+	ret := callee.retVal
+	if err := p.popFrame(); err != nil {
+		return ctrlNext, err
+	}
+	if target != nil {
+		addr := p.VarAddr(f, target.Sym)
+		conv := p.convert(ret, target.Sym.Type)
+		if err := p.storeValue(addr, target.Sym.Type, conv); err != nil {
+			return ctrlNext, err
+		}
+	}
+	return ctrlNext, nil
+}
+
+// ---- builtins ----
+
+func (p *Process) evalBuiltin(f *Frame, x *minic.Call) (value, error) {
+	switch x.Builtin {
+	case "malloc":
+		return p.builtinMalloc(f, x)
+	case "free":
+		return p.builtinFree(f, x)
+	case "printf":
+		return p.builtinPrintf(f, x)
+	case "rand":
+		// glibc-style 48-bit LCG, truncated to 31 bits.
+		p.rng = (p.rng*0x5deece66d + 0xb) & (1<<48 - 1)
+		return intValue(types.Int, int64(p.rng>>17)&0x3fffffff), nil
+	case "srand":
+		v, err := p.evalExpr(f, x.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		p.rng = (v.bits << 16) | 0x330e
+		return value{t: types.Void}, nil
+	case "fabs":
+		v, err := p.evalExpr(f, x.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		d := p.convert(v, types.Double)
+		return value{t: types.Double, bits: math.Float64bits(math.Abs(d.float64()))}, nil
+	case "sqrt":
+		v, err := p.evalExpr(f, x.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		d := p.convert(v, types.Double)
+		return value{t: types.Double, bits: math.Float64bits(math.Sqrt(d.float64()))}, nil
+	case "exit":
+		v, err := p.evalExpr(f, x.Args[0])
+		if err != nil {
+			return value{}, err
+		}
+		p.exitCode = int(int64(v.bits))
+		return value{}, errExit
+	case "clock_ms":
+		ms := time.Since(p.start).Milliseconds()
+		return value{t: types.Long, bits: normInt(p.Mach, types.Long.Prim, uint64(ms))}, nil
+	}
+	return value{}, rtErr(x.Position(), "internal: unknown builtin %s", x.Builtin)
+}
+
+func (p *Process) builtinMalloc(f *Frame, x *minic.Call) (value, error) {
+	sz, err := p.evalExpr(f, x.Args[0])
+	if err != nil {
+		return value{}, err
+	}
+	n := int(int64(sz.bits))
+	if n < 0 {
+		return value{}, rtErr(x.Position(), "malloc of negative size %d", n)
+	}
+	elem := x.MallocElem
+	if elem == nil {
+		return value{}, rtErr(x.Position(), "malloc call has no inferred element type")
+	}
+	es := elem.SizeOf(p.Mach)
+	if es == 0 || n%es != 0 {
+		return value{}, rtErr(x.Position(), "malloc size %d is not a multiple of sizeof(%s) = %d", n, elem, es)
+	}
+	addr, err := p.Space.Malloc(n)
+	if err != nil {
+		return value{}, rtErr(x.Position(), "%v", err)
+	}
+	if !p.DisableMigration {
+		b := &msr.Block{ID: p.Table.NextHeapID(), Addr: addr, Type: elem, Count: n / es}
+		if err := p.Table.Register(b); err != nil {
+			return value{}, err
+		}
+		p.Stats.MSRLTOps++
+	}
+	return ptrValue(x.Type(), addr), nil
+}
+
+func (p *Process) builtinFree(f *Frame, x *minic.Call) (value, error) {
+	v, err := p.evalExpr(f, x.Args[0])
+	if err != nil {
+		return value{}, err
+	}
+	addr := v.addr()
+	if addr == 0 {
+		return value{t: types.Void}, nil // free(NULL) is a no-op
+	}
+	if !p.DisableMigration {
+		if err := p.Table.Unregister(addr); err != nil {
+			return value{}, rtErr(x.Position(), "free of address that is not a block base: %v", err)
+		}
+		p.Stats.MSRLTOps++
+	}
+	if err := p.Space.Free(addr); err != nil {
+		return value{}, rtErr(x.Position(), "%v", err)
+	}
+	return value{t: types.Void}, nil
+}
+
+// builtinPrintf implements a useful subset of printf formatting.
+func (p *Process) builtinPrintf(f *Frame, x *minic.Call) (value, error) {
+	fv, err := p.evalExpr(f, x.Args[0])
+	if err != nil {
+		return value{}, err
+	}
+	format, err := p.readCString(fv.addr())
+	if err != nil {
+		return value{}, rtErr(x.Position(), "printf format: %v", err)
+	}
+	args := make([]value, 0, len(x.Args)-1)
+	for _, a := range x.Args[1:] {
+		v, err := p.evalExpr(f, a)
+		if err != nil {
+			return value{}, err
+		}
+		args = append(args, v)
+	}
+	out, err := p.formatPrintf(x.Position(), format, args)
+	if err != nil {
+		return value{}, err
+	}
+	fmt.Fprint(p.Stdout, out)
+	return intValue(types.Int, int64(len(out))), nil
+}
+
+// readCString reads a NUL-terminated string from the space.
+func (p *Process) readCString(addr memory.Address) (string, error) {
+	if addr == 0 {
+		return "", fmt.Errorf("null string")
+	}
+	var out []byte
+	for i := 0; i < 1<<20; i++ {
+		b, err := p.Space.Bytes(addr+memory.Address(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b[0] == 0 {
+			return string(out), nil
+		}
+		out = append(out, b[0])
+	}
+	return "", fmt.Errorf("unterminated string")
+}
+
+// formatPrintf expands a C format string against evaluated arguments.
+func (p *Process) formatPrintf(pos minic.Pos, format string, args []value) (string, error) {
+	var out []byte
+	ai := 0
+	nextArg := func() (value, error) {
+		if ai >= len(args) {
+			return value{}, rtErr(pos, "printf: too few arguments for format %q", format)
+		}
+		v := args[ai]
+		ai++
+		return v, nil
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		// Collect flags/width/precision verbatim; strip length
+		// modifiers (l, ll) which Go's fmt does not use.
+		spec := []byte{'%'}
+		for i < len(format) {
+			ch := format[i]
+			if ch == 'l' || ch == 'h' {
+				i++
+				continue
+			}
+			spec = append(spec, ch)
+			if (ch >= 'a' && ch <= 'z') || ch == '%' || (ch >= 'A' && ch <= 'Z') {
+				break
+			}
+			i++
+		}
+		verb := spec[len(spec)-1]
+		switch verb {
+		case '%':
+			out = append(out, '%')
+		case 'd', 'i':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			spec[len(spec)-1] = 'd'
+			out = append(out, fmt.Sprintf(string(spec), int64(v.bits))...)
+		case 'u', 'x', 'X', 'o':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			if verb == 'u' {
+				spec[len(spec)-1] = 'd'
+			}
+			out = append(out, fmt.Sprintf(string(spec), v.bits)...)
+		case 'c':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			out = append(out, byte(v.bits))
+		case 'f', 'e', 'E', 'g', 'G':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			out = append(out, fmt.Sprintf(string(spec), v.float64())...)
+		case 's':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			s, err := p.readCString(v.addr())
+			if err != nil {
+				return "", rtErr(pos, "printf %%s: %v", err)
+			}
+			out = append(out, fmt.Sprintf(string(spec), s)...)
+		case 'p':
+			v, err := nextArg()
+			if err != nil {
+				return "", err
+			}
+			out = append(out, fmt.Sprintf("0x%x", v.bits)...)
+		default:
+			return "", rtErr(pos, "printf: unsupported conversion %%%c", verb)
+		}
+	}
+	return string(out), nil
+}

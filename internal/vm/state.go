@@ -1,0 +1,232 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/collect"
+	"repro/internal/memory"
+	"repro/internal/minic"
+	"repro/internal/xdr"
+)
+
+// This file implements the transfer of process state. The stream has two
+// parts, mirroring the paper's design:
+//
+//   - the execution state: the chain of active function invocations and,
+//     for each, the migration site it is stopped at (the innermost frame at
+//     the poll-point where migration occurred; each outer frame at the call
+//     statement through which control entered the next frame);
+//
+//   - the memory state: for each frame, innermost first, the values of the
+//     variables live at its site, collected with the MSRM library's
+//     Save_variable (whose depth-first traversal brings in every reachable
+//     heap block), followed by the global variables.
+//
+// Restoration rebuilds the frames (re-registering the same machine-
+// independent block identifications), restores the live data, and leaves
+// the process ready to fast-forward each function to its site.
+
+const execMagic = 0x45584543 // "EXEC"
+
+// StateStats describes one captured state, for the experiment harness.
+type StateStats struct {
+	Frames int
+	Save   collect.SaveStats
+	Bytes  int
+	// Elapsed is the wall time of the whole capture (the paper's
+	// "Collect" column), measured unconditionally.
+	Elapsed time.Duration
+}
+
+// CaptureStats of the last migration performed by this process.
+func (p *Process) CaptureStats() StateStats { return p.captureStats }
+
+// RestoreStatsOf returns the statistics of the restore that initialized
+// this process, when it was created by RestoreProcess.
+func (p *Process) RestoreStatsOf() collect.RestoreStats { return p.restoreStats }
+
+// RestoreElapsed returns the wall time of the restore that initialized
+// this process (the paper's "Restore" column).
+func (p *Process) RestoreElapsed() time.Duration { return p.restoreElapsed }
+
+// Recapture re-collects the full process state at the migration point the
+// process is stopped at. The measurement harness uses it to time data
+// collection repeatedly without re-executing the program; collection does
+// not modify the process, so every capture yields an identical stream.
+func (p *Process) Recapture() ([]byte, error) {
+	site := p.lastSite
+	if site == nil && len(p.resumeSites) > 0 {
+		// A freshly restored process is stopped at the site its
+		// innermost frame was captured at; re-capturing there encodes
+		// the same logical state in this machine's representation.
+		site = p.resumeSites[len(p.resumeSites)-1]
+	}
+	if site == nil {
+		return nil, errors.New("vm: process is not stopped at a migration point")
+	}
+	return p.captureState(site)
+}
+
+// captureState encodes the full process state at a migration point.
+// innermost is the poll site that triggered the migration.
+func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
+	p.lastSite = innermost
+	captureStart := time.Now()
+	enc := xdr.NewEncoder(1 << 12)
+	enc.PutUint32(execMagic)
+	enc.PutUint32(uint32(len(p.frames)))
+
+	sites := make([]*minic.Site, len(p.frames))
+	for i, f := range p.frames {
+		var site *minic.Site
+		switch {
+		case i == len(p.frames)-1:
+			site = innermost
+		case f.curSite != nil:
+			site = f.curSite
+		case len(p.resumeSites) == len(p.frames):
+			// A restored-but-not-yet-resumed process: the outer frames
+			// are still stopped at the sites the stream recorded.
+			site = p.resumeSites[i]
+		}
+		if site == nil {
+			return nil, fmt.Errorf("vm: frame %d (%s) has no active migration site", f.Depth, f.Fn.Name)
+		}
+		sites[i] = site
+		enc.PutString(f.Fn.Name)
+		enc.PutUint32(uint32(site.ID))
+	}
+
+	saver := collect.NewSaver(p.Space, p.Table, p.TI, enc)
+	saver.Instrument = p.Instrument
+	// Live data, innermost frame first (as in the paper's example, where
+	// foo's live data precedes main's).
+	for i := len(p.frames) - 1; i >= 0; i-- {
+		f := p.frames[i]
+		for _, v := range sites[i].Live {
+			if err := saver.SaveVariable(p.VarAddr(f, v)); err != nil {
+				return nil, fmt.Errorf("vm: collecting %s in %s: %w", v.Name, f.Fn.Name, err)
+			}
+		}
+	}
+	// Globals last.
+	for _, g := range p.Prog.Globals {
+		if err := saver.SaveVariable(p.globalAddrs[g.Index]); err != nil {
+			return nil, fmt.Errorf("vm: collecting global %s: %w", g.Name, err)
+		}
+	}
+	saver.Finish()
+	p.captureStats = StateStats{
+		Frames:  len(p.frames),
+		Save:    saver.Stats,
+		Bytes:   enc.Len(),
+		Elapsed: time.Since(captureStart),
+	}
+	return enc.Bytes(), nil
+}
+
+// RestoreProcess builds a process on machine m from a captured state and
+// prepares it to resume. Run() continues execution from the migration
+// point.
+func RestoreProcess(prog *minic.Program, m *arch.Machine, state []byte) (*Process, error) {
+	p, err := NewProcess(prog, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.restoreState(state); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RestoreInto restores a captured state into a freshly created process
+// (one that has not started running). RestoreProcess is the common path;
+// RestoreInto exists so callers can configure the process — for example
+// enable instrumentation — before the restore runs.
+func (p *Process) RestoreInto(state []byte) error {
+	if len(p.frames) != 0 {
+		return errors.New("vm: RestoreInto on a process that already has frames")
+	}
+	return p.restoreState(state)
+}
+
+func (p *Process) restoreState(state []byte) error {
+	restoreStart := time.Now()
+	dec := xdr.NewDecoder(state)
+	magic, err := dec.Uint32()
+	if err != nil || magic != execMagic {
+		return fmt.Errorf("vm: bad execution state header")
+	}
+	nframes, err := dec.Uint32()
+	if err != nil {
+		return err
+	}
+	if nframes == 0 || nframes > 1<<16 {
+		return fmt.Errorf("vm: implausible frame count %d", nframes)
+	}
+
+	sites := make([]*minic.Site, nframes)
+	for i := 0; i < int(nframes); i++ {
+		name, err := dec.String()
+		if err != nil {
+			return err
+		}
+		siteID, err := dec.Uint32()
+		if err != nil {
+			return err
+		}
+		fn := p.Prog.Func(name)
+		if fn == nil {
+			return fmt.Errorf("vm: state references unknown function %s", name)
+		}
+		site := fn.SiteByID(int(siteID))
+		if site == nil {
+			return fmt.Errorf("vm: function %s has no migration site %d", name, siteID)
+		}
+		sites[i] = site
+		if _, err := p.pushFrame(fn); err != nil {
+			return err
+		}
+	}
+
+	restorer := collect.NewRestorer(p.Space, p.Table, p.TI, dec)
+	restorer.Instrument = p.Instrument
+	for i := int(nframes) - 1; i >= 0; i-- {
+		f := p.frames[i]
+		for _, v := range sites[i].Live {
+			if err := restorer.RestoreVariable(p.VarAddr(f, v)); err != nil {
+				return fmt.Errorf("vm: restoring %s in %s: %w", v.Name, f.Fn.Name, err)
+			}
+		}
+	}
+	for _, g := range p.Prog.Globals {
+		if err := restorer.RestoreVariable(p.globalAddrs[g.Index]); err != nil {
+			return fmt.Errorf("vm: restoring global %s: %w", g.Name, err)
+		}
+	}
+	if dec.Remaining() != 0 {
+		return fmt.Errorf("vm: %d trailing bytes in state stream", dec.Remaining())
+	}
+	p.resumeSites = sites
+	p.restoreStats = restorer.Stats
+	p.restoreElapsed = time.Since(restoreStart)
+	return nil
+}
+
+// SnapshotAddressOf resolves a named variable in the current innermost
+// frame or globals, for tests and tools inspecting process memory.
+func (p *Process) SnapshotAddressOf(name string) (memory.Address, bool) {
+	if len(p.frames) > 0 {
+		f := p.frames[len(p.frames)-1]
+		for _, v := range f.Fn.Locals {
+			if v.Name == name {
+				return p.VarAddr(f, v), true
+			}
+		}
+	}
+	addr, _, ok := p.GlobalByName(name)
+	return addr, ok
+}

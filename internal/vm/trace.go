@@ -1,0 +1,60 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/minic"
+)
+
+// Trace support: when TraceTo is set, the process logs one line per
+// executed statement (position and kind), call/return transitions, and
+// migration events. This is the debugging aid for diagnosing why a resumed
+// program diverges from its unmigrated run — diff two traces and the first
+// differing line names the statement.
+
+// TraceTo directs an execution trace to w; nil disables tracing.
+func (p *Process) TraceTo(w io.Writer) { p.trace = w }
+
+func (p *Process) tracef(format string, args ...interface{}) {
+	if p.trace == nil {
+		return
+	}
+	for range p.frames {
+		io.WriteString(p.trace, "  ")
+	}
+	fmt.Fprintf(p.trace, format, args...)
+	io.WriteString(p.trace, "\n")
+}
+
+// stmtKind names a statement for trace output.
+func stmtKind(s minic.Stmt) string {
+	switch st := s.(type) {
+	case *minic.Block:
+		return "block"
+	case *minic.DeclStmt:
+		return "decl " + st.Sym.Name
+	case *minic.ExprStmt:
+		return "expr"
+	case *minic.If:
+		return "if"
+	case *minic.While:
+		if st.DoWhile {
+			return "do-while"
+		}
+		return "while"
+	case *minic.For:
+		return "for"
+	case *minic.Return:
+		return "return"
+	case *minic.Break:
+		return "break"
+	case *minic.Continue:
+		return "continue"
+	case *minic.PollPoint:
+		return "poll"
+	case *minic.Empty:
+		return "empty"
+	}
+	return "?"
+}

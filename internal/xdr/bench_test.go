@@ -1,0 +1,56 @@
+package xdr
+
+import "testing"
+
+func BenchmarkPutFloat64s(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	e := NewEncoder(8 * len(vals))
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutFloat64s(vals)
+	}
+}
+
+func BenchmarkPutFloat64Loop(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	e := NewEncoder(8 * len(vals))
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for _, v := range vals {
+			e.PutFloat64(v)
+		}
+	}
+}
+
+func BenchmarkDecodeFloat64s(b *testing.B) {
+	vals := make([]float64, 1024)
+	e := NewEncoder(8 * len(vals))
+	e.PutFloat64s(vals)
+	b.SetBytes(int64(e.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(e.Bytes())
+		if _, err := d.Float64s(len(vals)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutString(b *testing.B) {
+	s := "a moderately sized identifier string"
+	var e Encoder
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutString(s)
+	}
+}

@@ -1,0 +1,287 @@
+// Package xdr implements the subset of Sun's External Data Representation
+// (RFC 1014 / RFC 1832) used as the machine-independent wire format for
+// primitive values.
+//
+// The paper's layer-2 routines translate primitive data values of a specific
+// architecture into a machine-independent format; this package is that
+// layer, written from scratch on the standard library. All quantities are
+// encoded big-endian and padded to a multiple of four bytes, exactly as XDR
+// specifies, so a stream produced on a little-endian source decodes
+// identically on a big-endian destination.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decode runs past the end of the stream.
+var ErrShortBuffer = errors.New("xdr: unexpected end of stream")
+
+// ErrLength is returned when a decoded length prefix is implausible
+// (negative or beyond the remaining stream).
+var ErrLength = errors.New("xdr: invalid length")
+
+// Encoder appends XDR-encoded values to an internal buffer.
+// The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder whose buffer has the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded stream. The slice aliases the encoder's
+// internal buffer and is valid until the next Put call.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded stream, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) grow(n int) []byte {
+	l := len(e.buf)
+	if l+n <= cap(e.buf) {
+		e.buf = e.buf[:l+n]
+	} else {
+		nb := make([]byte, l+n, (l+n)*2)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+	return e.buf[l : l+n]
+}
+
+// PutUint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) PutUint32(v uint32) {
+	b := e.grow(4)
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// PutInt32 encodes a 32-bit signed integer.
+func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutUint64 encodes a 64-bit unsigned integer (XDR unsigned hyper).
+func (e *Encoder) PutUint64(v uint64) {
+	b := e.grow(8)
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+// PutInt64 encodes a 64-bit signed integer (XDR hyper).
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutBool encodes a boolean as an XDR enum with values 0 and 1.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutUint32(1)
+	} else {
+		e.PutUint32(0)
+	}
+}
+
+// PutFloat32 encodes an IEEE 754 single-precision value.
+func (e *Encoder) PutFloat32(v float32) { e.PutUint32(math.Float32bits(v)) }
+
+// PutFloat64 encodes an IEEE 754 double-precision value.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutFixedOpaque encodes fixed-length opaque data: the bytes followed by
+// zero padding to a four-byte boundary. The decoder must know the length.
+func (e *Encoder) PutFixedOpaque(p []byte) {
+	n := (len(p) + 3) &^ 3
+	b := e.grow(n)
+	copy(b, p)
+	for i := len(p); i < n; i++ {
+		b[i] = 0
+	}
+}
+
+// PutOpaque encodes variable-length opaque data: a length prefix followed
+// by the bytes and padding.
+func (e *Encoder) PutOpaque(p []byte) {
+	e.PutUint32(uint32(len(p)))
+	e.PutFixedOpaque(p)
+}
+
+// PutString encodes a string as XDR variable-length opaque data.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	n := (len(s) + 3) &^ 3
+	b := e.grow(n)
+	copy(b, s)
+	for i := len(s); i < n; i++ {
+		b[i] = 0
+	}
+}
+
+// PutFloat64s encodes a slice of doubles without a length prefix
+// (an XDR fixed-length array). This is the hot path when collecting
+// large numeric blocks such as the linpack matrices.
+func (e *Encoder) PutFloat64s(vs []float64) {
+	b := e.grow(8 * len(vs))
+	for i, v := range vs {
+		bits := math.Float64bits(v)
+		off := 8 * i
+		b[off+0] = byte(bits >> 56)
+		b[off+1] = byte(bits >> 48)
+		b[off+2] = byte(bits >> 40)
+		b[off+3] = byte(bits >> 32)
+		b[off+4] = byte(bits >> 24)
+		b[off+5] = byte(bits >> 16)
+		b[off+6] = byte(bits >> 8)
+		b[off+7] = byte(bits)
+	}
+}
+
+// Grow exposes raw append space of exactly n bytes for callers that encode
+// runs of scalars directly (the type-specific saving functions). The
+// caller must fill all n bytes and keep the stream four-byte aligned.
+func (e *Encoder) Grow(n int) []byte { return e.grow(n) }
+
+// Decoder reads XDR-encoded values from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a decoder reading from p. The decoder does not copy p.
+func NewDecoder(p []byte) *Decoder { return &Decoder{buf: p} }
+
+// Offset returns the number of bytes consumed so far.
+func (d *Decoder) Offset() int { return d.off }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// take consumes n bytes from the stream.
+func (d *Decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.buf) {
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]), nil
+}
+
+// Int64 decodes a 64-bit signed integer.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Bool decodes an XDR boolean. Any nonzero value is an error, matching the
+// strictness of the XDR specification for enums.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("xdr: invalid boolean value %d", v)
+}
+
+// Float32 decodes an IEEE 754 single-precision value.
+func (d *Decoder) Float32() (float32, error) {
+	v, err := d.Uint32()
+	return math.Float32frombits(v), err
+}
+
+// Float64 decodes an IEEE 754 double-precision value.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+// FixedOpaque decodes n bytes of fixed-length opaque data, consuming the
+// padding. The returned slice aliases the stream.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	padded := (n + 3) &^ 3
+	b, err := d.take(padded)
+	if err != nil {
+		return nil, err
+	}
+	return b[:n], nil
+}
+
+// Opaque decodes variable-length opaque data.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > d.Remaining() {
+		return nil, ErrLength
+	}
+	return d.FixedOpaque(int(n))
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Opaque()
+	return string(b), err
+}
+
+// Float64s decodes n doubles encoded as a fixed-length array.
+func (d *Decoder) Float64s(n int) ([]float64, error) {
+	b, err := d.take(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		off := 8 * i
+		bits := uint64(b[off+0])<<56 | uint64(b[off+1])<<48 | uint64(b[off+2])<<40 |
+			uint64(b[off+3])<<32 | uint64(b[off+4])<<24 | uint64(b[off+5])<<16 |
+			uint64(b[off+6])<<8 | uint64(b[off+7])
+		out[i] = math.Float64frombits(bits)
+	}
+	return out, nil
+}
+
+// Take exposes n raw stream bytes for callers that decode runs of scalars
+// directly (the type-specific restoring functions).
+func (d *Decoder) Take(n int) ([]byte, error) { return d.take(n) }

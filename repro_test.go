@@ -1,0 +1,158 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const helloSrc = `
+	int main() {
+		int i, s;
+		s = 0;
+		for (i = 1; i <= 10; i++) {
+			s += i;
+		}
+		printf("sum=%d\n", s);
+		return s;
+	}
+`
+
+func TestCompileAndRun(t *testing.T) {
+	prog, err := Compile(helloSrc, PollAtLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	res, err := prog.Run(Ultra5, &Options{Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 55 || res.Migrated {
+		t.Errorf("res = %+v", res)
+	}
+	if out.String() != "sum=55\n" {
+		t.Errorf("out = %q", out.String())
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	_, err := Compile(`int main() { int *p; return (int)p; }`, PollAtLoops)
+	if err == nil || !strings.Contains(err.Error(), "migration-unsafe") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMigrateFacade(t *testing.T) {
+	prog, err := Compile(helloSrc, PollAtLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	res, err := prog.Migrate(DEC5000, SPARC20, &Options{Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Migrated || res.ExitCode != 55 {
+		t.Errorf("res = %+v", res)
+	}
+	if res.Timing.Bytes == 0 {
+		t.Error("no transfer recorded")
+	}
+	if out.String() != "sum=55\n" {
+		t.Errorf("out = %q", out.String())
+	}
+	if res.Process.Mach != SPARC20 {
+		t.Error("final process on wrong machine")
+	}
+}
+
+func TestMachineRegistry(t *testing.T) {
+	if len(Machines()) < 7 {
+		t.Errorf("machines = %d", len(Machines()))
+	}
+	if MachineByName("dec5000") != DEC5000 {
+		t.Error("lookup failed")
+	}
+	if MachineByName("vax") != nil {
+		t.Error("phantom machine")
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	prog, err := Compile(helloSrc, PollAtLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.NewCluster(nil)
+	c.AddNode("a", DEC5000)
+	c.AddNode("b", SPARCV9)
+	h, err := c.Spawn("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Migrate("b")
+	o := h.Wait()
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.ExitCode != 55 {
+		t.Errorf("exit = %d", o.ExitCode)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	prog, err := Compile(`int main() { while (1) {} return 0; }`, PollAtLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default MaxSteps must stop a runaway program eventually; use a
+	// small explicit bound to keep the test fast.
+	if _, err := prog.Run(Ultra5, &Options{MaxSteps: 1000}); err == nil {
+		t.Error("runaway program did not hit the step limit")
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	prog, err := Compile(helloSrc, PollAtLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if _, err := prog.Run(Ultra5, &Options{Trace: &trace}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), "[main]") {
+		t.Errorf("trace empty or malformed:\n%s", trace.String())
+	}
+}
+
+func ExampleProgram_Migrate() {
+	prog, err := Compile(`
+		int main() {
+			int i, product;
+			product = 1;
+			for (i = 1; i <= 5; i++) {
+				product *= i;
+			}
+			printf("5! = %d\n", product);
+			return 0;
+		}
+	`, PollAtLoops)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var out bytes.Buffer
+	res, err := prog.Migrate(DEC5000, SPARC20, &Options{Stdout: &out})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Print(out.String())
+	fmt.Println("migrated:", res.Migrated, "finished on:", res.Process.Mach.Name)
+	// Output:
+	// 5! = 120
+	// migrated: true finished on: sparc20
+}
