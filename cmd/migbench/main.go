@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
@@ -114,6 +114,23 @@ func main() {
 		}
 		exper.PrintAblation(os.Stdout,
 			"D2 analysis: stream composition under (header, offset) pointer encoding (bitonic)", rows)
+	}
+	if run("stream") {
+		rows, err := exper.PipelinedModel(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintPipelinedModel(os.Stdout, rows)
+		wrows, err := exper.PipelinedWire(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintPipelinedWire(os.Stdout, wrows)
+		for _, r := range wrows {
+			if !r.Identical || r.ExitCode != 0 {
+				failed = true
+			}
+		}
 	}
 	if run("overhead") {
 		rows, err := exper.PollPlacementOverhead(cfg)

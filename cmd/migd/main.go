@@ -13,6 +13,14 @@
 // Source:
 //
 //	migd run -addr 127.0.0.1:7464 -machine dec5000 -program prog.mc -after-polls 3
+//
+// With -stream on both sides the snapshot is transferred through the
+// pipelined chunk layer (internal/stream): transmission overlaps
+// collection, chunks are CRC-verified and acknowledged, and a dropped
+// connection is resumed from the last acknowledged chunk instead of
+// aborting the migration. -chunk and -window tune the stream; -retry and
+// -retry-timeout let the source wait for a destination that has not
+// started listening yet.
 package main
 
 import (
@@ -21,13 +29,27 @@ import (
 	"net"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/minic"
+	"repro/internal/stream"
 	"repro/internal/vm"
 )
+
+// options collects the command line shared by both modes.
+type options struct {
+	addr         string
+	maxSteps     int64
+	afterPolls   int
+	streamMode   bool
+	chunkSize    int
+	window       int
+	retries      int
+	retryTimeout time.Duration
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -40,6 +62,11 @@ func main() {
 	program := fs.String("program", "", "pre-distributed MigC source file")
 	afterPolls := fs.Int("after-polls", 1, "run: migrate at the N-th poll-point")
 	maxSteps := fs.Int64("max-steps", 4_000_000_000, "statement budget")
+	streamMode := fs.Bool("stream", false, "pipelined chunked transfer (overlap collection and transmission; both sides must use it)")
+	chunkSize := fs.Int("chunk", 256<<10, "stream mode: chunk size in bytes")
+	window := fs.Int("window", 16, "stream mode: transmit window in chunks")
+	retries := fs.Int("retry", 0, "run: extra dial attempts while the destination is not listening yet")
+	retryTimeout := fs.Duration("retry-timeout", 30*time.Second, "run: give up redialing after this long")
 	fs.Parse(os.Args[2:])
 
 	if *program == "" {
@@ -62,11 +89,21 @@ func main() {
 		os.Exit(1)
 	}
 
+	opts := options{
+		addr:         *addr,
+		maxSteps:     *maxSteps,
+		afterPolls:   *afterPolls,
+		streamMode:   *streamMode,
+		chunkSize:    *chunkSize,
+		window:       *window,
+		retries:      *retries,
+		retryTimeout: *retryTimeout,
+	}
 	switch mode {
 	case "serve":
-		serve(engine, m, *addr, *maxSteps)
+		serve(engine, m, opts)
 	case "run":
-		run(engine, m, *addr, *afterPolls, *maxSteps)
+		run(engine, m, opts)
 	default:
 		usage()
 	}
@@ -74,44 +111,103 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  migd serve -addr HOST:PORT -machine NAME -program FILE
-  migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N`)
+  migd serve -addr HOST:PORT -machine NAME -program FILE [-stream [-chunk N -window N]]
+  migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
+             [-stream [-chunk N -window N]] [-retry N -retry-timeout D]`)
 	os.Exit(2)
+}
+
+func (o options) streamConfig() stream.Config {
+	return stream.Config{ChunkSize: o.chunkSize, Window: o.window}
+}
+
+// dialRetry dials the daemon, retrying with backoff while the destination
+// is not listening yet (connection refused is expected when the daemon is
+// started a moment later).
+func dialRetry(addr string, retries int, timeout time.Duration) (link.Transport, error) {
+	deadline := time.Now().Add(timeout)
+	backoff := 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		t, err := link.Dial(addr)
+		if err == nil {
+			return t, nil
+		}
+		if attempt >= retries || !time.Now().Before(deadline) {
+			return nil, fmt.Errorf(
+				"cannot reach destination daemon at %s after %d attempt(s): %v\n"+
+					"  start the destination first (migd serve -addr %s -machine NAME -program FILE)\n"+
+					"  or let the source wait for it with -retry N [-retry-timeout D]",
+				addr, attempt+1, err, addr)
+		}
+		fmt.Fprintf(os.Stderr, "[migd] destination %s not ready (%v); retrying in %v\n", addr, err, backoff)
+		time.Sleep(backoff)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 // serve waits for one migrating process, restores it, and runs it to
 // completion (or to a further migration, which this minimal daemon does
 // not chain).
-func serve(engine *core.Engine, m *arch.Machine, addr string, maxSteps int64) {
-	l, err := net.Listen("tcp", addr)
+func serve(engine *core.Engine, m *arch.Machine, o options) {
+	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("[migd %s] waiting for migrating process on %s\n", m.Name, addr)
-	conn, err := l.Accept()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "migd:", err)
-		os.Exit(1)
+	fmt.Printf("[migd %s] waiting for migrating process on %s\n", m.Name, o.addr)
+
+	var p *vm.Process
+	var timing core.Timing
+	var final link.Transport
+	if o.streamMode {
+		accept := func() (link.Transport, error) {
+			conn, aerr := l.Accept()
+			if aerr != nil {
+				return nil, aerr
+			}
+			return link.NewConn(conn), nil
+		}
+		t, aerr := accept()
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, "migd:", aerr)
+			os.Exit(1)
+		}
+		r := stream.NewReader(t, o.streamConfig())
+		// A dropped connection mid-stream is survivable: the source's
+		// session redials and the transfer resumes where it left off.
+		r.SetReaccept(accept)
+		p, timing, err = engine.ReceiveAndRestoreStream(r, m)
+		if err == nil && r.Stats().Reconnects > 0 {
+			fmt.Printf("[migd %s] stream resumed across %d reconnect(s)\n", m.Name, r.Stats().Reconnects)
+		}
+		final = r.Transport()
+	} else {
+		conn, aerr := l.Accept()
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, "migd:", aerr)
+			os.Exit(1)
+		}
+		final = link.NewConn(conn)
+		p, timing, err = engine.ReceiveAndRestore(final, m)
 	}
-	t := link.NewConn(conn)
-	p, timing, err := engine.ReceiveAndRestore(t, m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd: restore failed:", err)
 		os.Exit(1)
 	}
 	// Acknowledge so the source may terminate.
-	if err := t.Send([]byte("restored")); err != nil {
+	if err := final.Send([]byte("restored")); err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
 	}
-	t.Close()
+	final.Close()
 	l.Close()
 	fmt.Printf("[migd %s] restored %d bytes in %.4fs; resuming\n",
 		m.Name, timing.Bytes, timing.Restore.Seconds())
 
 	p.Stdout = os.Stdout
-	p.MaxSteps = maxSteps
+	p.MaxSteps = o.maxSteps
 	res, err := p.Run()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
@@ -123,17 +219,17 @@ func serve(engine *core.Engine, m *arch.Machine, addr string, maxSteps int64) {
 
 // run executes the program locally until the N-th poll-point, then
 // migrates it to the daemon.
-func run(engine *core.Engine, m *arch.Machine, addr string, afterPolls int, maxSteps int64) {
+func run(engine *core.Engine, m *arch.Machine, o options) {
 	p, err := engine.NewProcess(m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
 	}
 	p.Stdout = os.Stdout
-	p.MaxSteps = maxSteps
+	p.MaxSteps = o.maxSteps
 	var polls atomic.Int64
 	p.PollHook = func(*vm.Process, *minic.Site) bool {
-		return polls.Add(1) == int64(afterPolls)
+		return polls.Add(1) == int64(o.afterPolls)
 	}
 	res, err := p.Run()
 	if err != nil {
@@ -146,21 +242,40 @@ func run(engine *core.Engine, m *arch.Machine, addr string, afterPolls int, maxS
 		os.Exit(res.ExitCode)
 	}
 
-	t, err := link.Dial(addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "migd: cannot reach daemon:", err)
-		os.Exit(1)
+	var timing core.Timing
+	var final link.Transport
+	if o.streamMode {
+		dial := func() (link.Transport, error) {
+			return dialRetry(o.addr, o.retries, o.retryTimeout)
+		}
+		sess := stream.NewSession(dial, uint64(os.Getpid()), o.streamConfig())
+		timing, err = engine.SendStream(sess, m, p, o.streamConfig().ChunkSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migd: transfer failed:", err)
+			os.Exit(1)
+		}
+		if st := sess.Stats(); st.Reconnects > 0 {
+			fmt.Printf("[migd %s] stream resumed across %d reconnect(s) (%d chunks retransmitted)\n",
+				m.Name, st.Reconnects, st.Retransmits)
+		}
+		final = sess.Transport()
+	} else {
+		final, err = dialRetry(o.addr, o.retries, o.retryTimeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migd:", err)
+			os.Exit(1)
+		}
+		timing, err = engine.Send(final, m, res.State)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migd: transfer failed:", err)
+			os.Exit(1)
+		}
 	}
-	timing, err := engine.Send(t, m, res.State)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "migd: transfer failed:", err)
-		os.Exit(1)
-	}
-	if ack, err := t.Recv(); err != nil || string(ack) != "restored" {
+	if ack, err := final.Recv(); err != nil || string(ack) != "restored" {
 		fmt.Fprintln(os.Stderr, "migd: destination did not acknowledge:", err)
 		os.Exit(1)
 	}
-	t.Close()
+	final.Close()
 	fmt.Printf("[migd %s] migrated %d bytes (collect %.4fs, tx %.4fs); terminating\n",
 		m.Name, timing.Bytes, p.CaptureStats().Elapsed.Seconds(), timing.Tx.Seconds())
 }

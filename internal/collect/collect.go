@@ -285,25 +285,47 @@ func (s *Saver) saveRun(op types.PlanOp, base memory.Address) error {
 	m := s.mach
 	size := m.SizeOf(op.Kind)
 	ws := wireSize(op.Kind)
-	out := s.enc.Grow(ws * op.Count)
+	// When the encoder streams to a sink, bound each reservation so one
+	// large run (a linpack matrix) still flushes out in chunk-sized
+	// pieces instead of a single unsplittable Grow.
+	seg := op.Count
+	if hint := s.enc.SegmentHint(); hint > 0 {
+		if max := hint / ws; max >= 1 && seg > max {
+			seg = max
+		}
+	}
 	if op.Stride == size {
 		// Contiguous run: one bounds check for the whole span.
 		src, err := s.space.Bytes(base+memory.Address(op.Off), size*op.Count)
 		if err != nil {
 			return err
 		}
-		for i := 0; i < op.Count; i++ {
-			v := m.Prim(src[i*size:], op.Kind)
-			putBE(out[i*ws:], v, ws)
+		for done := 0; done < op.Count; done += seg {
+			n := op.Count - done
+			if n > seg {
+				n = seg
+			}
+			out := s.enc.Grow(ws * n)
+			for i := 0; i < n; i++ {
+				v := m.Prim(src[(done+i)*size:], op.Kind)
+				putBE(out[i*ws:], v, ws)
+			}
 		}
 	} else {
-		for i := 0; i < op.Count; i++ {
-			src, err := s.space.Bytes(base+memory.Address(op.Off+i*op.Stride), size)
-			if err != nil {
-				return err
+		for done := 0; done < op.Count; done += seg {
+			n := op.Count - done
+			if n > seg {
+				n = seg
 			}
-			v := m.Prim(src, op.Kind)
-			putBE(out[i*ws:], v, ws)
+			out := s.enc.Grow(ws * n)
+			for i := 0; i < n; i++ {
+				src, err := s.space.Bytes(base+memory.Address(op.Off+(done+i)*op.Stride), size)
+				if err != nil {
+					return err
+				}
+				v := m.Prim(src, op.Kind)
+				putBE(out[i*ws:], v, ws)
+			}
 		}
 	}
 	s.Stats.DataBytes += int64(ws * op.Count)

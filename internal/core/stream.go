@@ -1,0 +1,131 @@
+package core
+
+// Streamed migration: instead of sealing the whole captured state into one
+// envelope and pushing it through a single blocking Send (the stop-and-copy
+// path of Send/ReceiveAndRestore), the snapshot flows through the
+// internal/stream chunk layer while the MSRM collector is still producing
+// it, so collection time and wire time overlap.
+//
+// The streamed envelope reuses the monolithic header fields but drops the
+// up-front payload length and checksum — the stream layer carries a CRC per
+// chunk and a whole-stream CRC in its FIN frame, verified before the
+// receiver confirms. Restoration still verifies the program digest before
+// touching the state.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/link"
+	"repro/internal/stream"
+	"repro/internal/vm"
+	"repro/internal/xdr"
+)
+
+// envStreamVersion marks a streamed (chunked) envelope; integrity is
+// enforced by the stream layer rather than a single payload checksum.
+const envStreamVersion = 2
+
+// putStreamHeader encodes the streamed envelope header.
+func (e *Engine) putStreamHeader(enc *xdr.Encoder, src *arch.Machine) {
+	enc.PutUint32(envMagic)
+	enc.PutUint32(envStreamVersion)
+	enc.PutString(src.Name)
+	enc.PutUint32(e.digest())
+}
+
+// OpenStream verifies a reassembled streamed envelope and returns the raw
+// state and the source machine name.
+func (e *Engine) OpenStream(payload []byte) (state []byte, srcName string, err error) {
+	dec := xdr.NewDecoder(payload)
+	magic, err := dec.Uint32()
+	if err != nil || magic != envMagic {
+		return nil, "", ErrBadEnvelope
+	}
+	ver, err := dec.Uint32()
+	if err != nil {
+		return nil, "", ErrBadEnvelope
+	}
+	if ver != envStreamVersion {
+		return nil, "", ErrVersionMismatch
+	}
+	srcName, err = dec.String()
+	if err != nil {
+		return nil, "", ErrBadEnvelope
+	}
+	digest, err := dec.Uint32()
+	if err != nil {
+		return nil, "", ErrBadEnvelope
+	}
+	if digest != e.digest() {
+		return nil, "", ErrProgramMismatch
+	}
+	return payload[dec.Offset():], srcName, nil
+}
+
+// SendStream collects the state of p (stopped at its migration point) and
+// transmits it through sw, a stream.Writer or stream.Session, overlapping
+// the depth-first MSR traversal with transmission: completed prefixes of
+// the encoded snapshot are handed to the chunk writer as collection
+// proceeds, bounded by the writer's transmit window. chunkSize is the
+// flush threshold and should match the writer's Config.ChunkSize.
+//
+// The returned Timing reports the whole overlapped phase as Tx; the
+// collection component is available separately via p.CaptureStats().
+func (e *Engine) SendStream(sw io.WriteCloser, src *arch.Machine, p *vm.Process, chunkSize int) (Timing, error) {
+	start := time.Now()
+	enc := xdr.NewEncoder(chunkSize + 1024)
+	enc.SetSink(chunkSize, func(b []byte) error {
+		_, err := sw.Write(b)
+		return err
+	})
+	e.putStreamHeader(enc, src)
+	if err := p.CaptureTo(enc); err != nil {
+		sw.Close()
+		return Timing{}, fmt.Errorf("core: streamed collection: %w", err)
+	}
+	if err := enc.FlushSink(); err != nil {
+		sw.Close()
+		return Timing{}, fmt.Errorf("core: streamed transfer: %w", err)
+	}
+	if err := sw.Close(); err != nil {
+		return Timing{}, fmt.Errorf("core: streamed transfer: %w", err)
+	}
+	return Timing{Tx: time.Since(start), Bytes: enc.Len()}, nil
+}
+
+// SendStreamed is the convenience path over a single established
+// transport: it wraps t in a plain stream.Writer and streams the snapshot.
+func (e *Engine) SendStreamed(t link.Transport, src *arch.Machine, p *vm.Process, cfg stream.Config) (Timing, error) {
+	w := stream.NewWriter(t, cfg)
+	return e.SendStream(w, src, p, chunkSizeOf(cfg))
+}
+
+// chunkSizeOf resolves the effective chunk size of a stream config.
+func chunkSizeOf(cfg stream.Config) int {
+	if cfg.ChunkSize > 0 {
+		return cfg.ChunkSize
+	}
+	return 256 << 10
+}
+
+// ReceiveAndRestoreStream reassembles a streamed envelope from r, verifies
+// it, and restores the process on machine m.
+func (e *Engine) ReceiveAndRestoreStream(r *stream.Reader, m *arch.Machine) (*vm.Process, Timing, error) {
+	payload, err := r.ReadAll()
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	state, _, err := e.OpenStream(payload)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	start := time.Now()
+	p, err := vm.RestoreProcess(e.Prog, m, state)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	return p, Timing{Restore: time.Since(start), Bytes: len(payload)}, nil
+}

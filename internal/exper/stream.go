@@ -1,0 +1,306 @@
+package exper
+
+// E8 — pipelined transfer: the streamed (overlap-collect-and-transmit)
+// migration path of internal/stream against the paper's stop-and-copy
+// baseline. Two views:
+//
+//   - a model timeline on the calibrated link models, replaying the
+//     recorded chunk-ready instants of a real collection run against the
+//     analytic wire time, so the overlap gain is measured at the paper's
+//     network speeds rather than loopback speed;
+//   - a real transfer over a loopback TCP connection, confirming both
+//     paths restore the identical machine-independent state.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/vm"
+	"repro/internal/workload"
+	"repro/internal/xdr"
+)
+
+// chunkEvent marks one chunk of the encoded snapshot becoming ready for
+// the wire, at elapsed collection time ready.
+type chunkEvent struct {
+	bytes int
+	ready time.Duration
+}
+
+// chunkTimeline captures p through a sinked encoder and records when each
+// chunk-sized prefix of the snapshot became available. It returns the
+// events, the total snapshot size, and the total collection time.
+func chunkTimeline(p *vm.Process, chunkSize int) ([]chunkEvent, int, time.Duration, error) {
+	enc := xdr.NewEncoder(chunkSize + 1024)
+	var events []chunkEvent
+	start := time.Now()
+	enc.SetSink(chunkSize, func(b []byte) error {
+		events = append(events, chunkEvent{bytes: len(b), ready: time.Since(start)})
+		return nil
+	})
+	if err := p.CaptureTo(enc); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := enc.FlushSink(); err != nil {
+		return nil, 0, 0, err
+	}
+	return events, enc.Len(), time.Since(start), nil
+}
+
+// pipelineTime replays a chunk timeline against a link model: chunk i
+// starts on the wire when both the previous chunk has drained and chunk i
+// is ready, so wire time hides behind collection time (and vice versa).
+// The per-connection latency is paid once, to fill the pipeline.
+func pipelineTime(events []chunkEvent, m link.Model) time.Duration {
+	eff := m.Efficiency
+	if eff <= 0 {
+		eff = 1
+	}
+	var done time.Duration
+	for _, ev := range events {
+		if ev.ready > done {
+			done = ev.ready
+		}
+		done += time.Duration(float64(ev.bytes*8) / (m.BitsPerSecond * eff) * float64(time.Second))
+	}
+	return m.Latency + done
+}
+
+// PipelineRow is one program x link comparison of the two transfer modes.
+type PipelineRow struct {
+	Program string
+	Link    string
+	Bytes   int
+	Chunks  int
+	// Collect is the pure collection time (phase 1 of stop-and-copy).
+	Collect time.Duration
+	// Monolithic is collect + analytic wire time of the whole snapshot.
+	Monolithic time.Duration
+	// Pipelined is the overlapped timeline finish time.
+	Pipelined time.Duration
+	Speedup   float64
+}
+
+// PipelinedModel runs the model-timeline comparison for linpack (few large
+// blocks) and bitonic (many small blocks) over the paper's two Ethernets.
+// The overlap gain approaches 2x when collection speed matches wire speed
+// and shrinks toward 1x when either side dominates.
+func PipelinedModel(cfg Config) ([]PipelineRow, error) {
+	linpackN, bitonicN := 500, 50000
+	if cfg.Quick {
+		linpackN, bitonicN = 100, 4000
+	}
+	const chunkSize = 64 << 10
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{fmt.Sprintf("linpack %dx%d", linpackN, linpackN), workload.LinpackSource(linpackN, false)},
+		{fmt.Sprintf("bitonic %d", bitonicN), workload.BitonicSource(bitonicN, 271828)},
+	}
+	// The paper's two Ethernets plus a modern LAN: the overlap gain is
+	// largest where wire speed is close to collection speed.
+	links := []link.Model{
+		link.Ethernet10,
+		link.Ethernet100,
+		{Name: "1Gb/s Ethernet", BitsPerSecond: 1e9, Latency: 50 * time.Microsecond, Efficiency: 0.9},
+	}
+	var rows []PipelineRow
+	for _, c := range cases {
+		e, err := core.NewEngine(c.src, minic.PollPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		p, _, err := stopAtMigration(e, arch.Ultra5)
+		if err != nil {
+			return nil, err
+		}
+		// Min-of-N over whole timeline runs: keep the run with the
+		// fastest total collection so scheduler noise does not inflate
+		// the ready instants.
+		var events []chunkEvent
+		var total int
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < cfg.repeats(); i++ {
+			ev, n, elapsed, err := chunkTimeline(p, chunkSize)
+			if err != nil {
+				return nil, err
+			}
+			if elapsed < best {
+				best, events, total = elapsed, ev, n
+			}
+		}
+		for _, m := range links {
+			pipe := pipelineTime(events, m)
+			mono := best + m.TxTime(total)
+			rows = append(rows, PipelineRow{
+				Program:    c.name,
+				Link:       m.Name,
+				Bytes:      total,
+				Chunks:     len(events),
+				Collect:    best,
+				Monolithic: mono,
+				Pipelined:  pipe,
+				Speedup:    mono.Seconds() / pipe.Seconds(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintPipelinedModel renders the E8 model comparison.
+func PrintPipelinedModel(w io.Writer, rows []PipelineRow) {
+	t := stats.Table{
+		Title:   "E8a (streamed transfer): stop-and-copy vs pipelined chunk streaming, model timeline, Ultra 5",
+		Headers: []string{"Program", "Link", "Bytes", "Chunks", "Collect", "Stop-and-copy", "Pipelined", "Speedup"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Program, r.Link, r.Bytes, r.Chunks, r.Collect, r.Monolithic, r.Pipelined,
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	fmt.Fprintln(w, t.String())
+}
+
+// WireRow is one program's real-transfer comparison over loopback TCP.
+type WireRow struct {
+	Program string
+	Bytes   int
+	// MonoWall is capture + seal + send + restore, strictly sequential.
+	MonoWall time.Duration
+	// StreamWall is the overlapped SendStream + incremental receive +
+	// restore.
+	StreamWall time.Duration
+	// Identical reports that both restored processes re-collect to the
+	// same machine-independent state.
+	Identical bool
+	ExitCode  int
+}
+
+// PipelinedWire runs both transfer modes over a real TCP loopback
+// connection. Loopback bandwidth dwarfs collection speed, so this is a
+// correctness demonstration (and shows streaming adds no material
+// overhead), not the place the speedup appears — that is E8a.
+func PipelinedWire(cfg Config) ([]WireRow, error) {
+	linpackN, bitonicN := 300, 20000
+	if cfg.Quick {
+		linpackN, bitonicN = 80, 2000
+	}
+	scfg := stream.Config{ChunkSize: 64 << 10, Window: 8}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{fmt.Sprintf("linpack %dx%d", linpackN, linpackN), workload.LinpackSource(linpackN, false)},
+		{fmt.Sprintf("bitonic %d", bitonicN), workload.BitonicSource(bitonicN, 271828)},
+	}
+	var rows []WireRow
+	for _, c := range cases {
+		e, err := core.NewEngine(c.src, minic.PollPolicy{})
+		if err != nil {
+			return nil, err
+		}
+		p, direct, err := stopAtMigration(e, arch.Ultra5)
+		if err != nil {
+			return nil, err
+		}
+
+		// Stop-and-copy over TCP: collect, seal, one big send, restore.
+		srv, cli, cleanup, err := link.LoopbackPair()
+		if err != nil {
+			return nil, err
+		}
+		type recvRes struct {
+			q   *vm.Process
+			err error
+		}
+		recvc := make(chan recvRes, 1)
+		go func() {
+			q, _, rerr := e.ReceiveAndRestore(srv, arch.Ultra5)
+			recvc <- recvRes{q, rerr}
+		}()
+		monoStart := time.Now()
+		state, err := p.Recapture()
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if _, err := e.Send(cli, p.Mach, state); err != nil {
+			cleanup()
+			return nil, err
+		}
+		mono := <-recvc
+		monoWall := time.Since(monoStart)
+		cleanup()
+		if mono.err != nil {
+			return nil, mono.err
+		}
+
+		// Streamed over TCP: chunks leave while collection is running.
+		srv, cli, cleanup, err = link.LoopbackPair()
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			r := stream.NewReader(srv, scfg)
+			q, _, rerr := e.ReceiveAndRestoreStream(r, arch.Ultra5)
+			recvc <- recvRes{q, rerr}
+		}()
+		streamStart := time.Now()
+		sw := stream.NewWriter(cli, scfg)
+		tx, err := e.SendStream(sw, p.Mach, p, scfg.ChunkSize)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		str := <-recvc
+		streamWall := time.Since(streamStart)
+		cleanup()
+		if str.err != nil {
+			return nil, str.err
+		}
+
+		monoRe, err := mono.q.Recapture()
+		if err != nil {
+			return nil, err
+		}
+		streamRe, err := str.q.Recapture()
+		if err != nil {
+			return nil, err
+		}
+		identical := string(monoRe) == string(direct) && string(streamRe) == string(direct)
+
+		str.q.MaxSteps = maxSteps
+		res, err := str.q.Run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WireRow{
+			Program:    c.name,
+			Bytes:      tx.Bytes,
+			MonoWall:   monoWall,
+			StreamWall: streamWall,
+			Identical:  identical,
+			ExitCode:   res.ExitCode,
+		})
+	}
+	return rows, nil
+}
+
+// PrintPipelinedWire renders the E8 wire comparison.
+func PrintPipelinedWire(w io.Writer, rows []WireRow) {
+	t := stats.Table{
+		Title:   "E8b (streamed transfer): both modes over real loopback TCP — correctness check",
+		Headers: []string{"Program", "Bytes", "Stop-and-copy wall", "Streamed wall", "States identical", "Exit"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Program, r.Bytes, r.MonoWall, r.StreamWall, r.Identical, r.ExitCode)
+	}
+	fmt.Fprintln(w, t.String())
+}

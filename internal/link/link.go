@@ -41,6 +41,13 @@ type Transport interface {
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("link: transport closed")
 
+// ErrChecksum is returned by ReadFrame when a frame's payload does not
+// match its CRC. The frame was fully consumed, so the byte stream remains
+// aligned on the next frame boundary; higher layers (internal/stream) use
+// this to distinguish recoverable payload corruption — the chunk can be
+// re-requested — from framing errors that desynchronize the connection.
+var ErrChecksum = errors.New("link: frame checksum mismatch")
+
 // maxFrame bounds a frame to guard against corrupt length prefixes.
 const maxFrame = 1 << 30
 
@@ -132,7 +139,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 		return nil, err
 	}
 	if crc32.ChecksumIEEE(payload) != sum {
-		return nil, errors.New("link: frame checksum mismatch")
+		return nil, ErrChecksum
 	}
 	return payload, nil
 }

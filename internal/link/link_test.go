@@ -2,7 +2,9 @@ package link
 
 import (
 	"bytes"
+	"errors"
 	"net"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -82,8 +84,50 @@ func TestFrameChecksumDetectsCorruption(t *testing.T) {
 	WriteFrame(&buf, []byte("important state"))
 	raw := buf.Bytes()
 	raw[10] ^= 0x01 // flip a payload bit
-	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
-		t.Error("corrupted frame accepted")
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted frame: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestFrameCorruptionKeepsStreamAligned(t *testing.T) {
+	// A checksum failure consumes the whole frame, so the next frame on the
+	// same byte stream still decodes — the property the stream layer's
+	// re-request protocol depends on.
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("chunk zero"))
+	WriteFrame(&buf, []byte("chunk one"))
+	raw := buf.Bytes()
+	raw[12] ^= 0x80 // corrupt first frame's payload
+	r := bytes.NewReader(raw)
+	if _, err := ReadFrame(r); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("first frame: got %v, want ErrChecksum", err)
+	}
+	got, err := ReadFrame(r)
+	if err != nil || string(got) != "chunk one" {
+		t.Errorf("second frame after corruption: %q, %v", got, err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, bytes.Repeat([]byte{0x5a}, 256))
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"mid-header", 5},
+		{"header only", 8},
+		{"mid-payload", 100},
+	}
+	for _, c := range cases {
+		raw := buf.Bytes()[:c.n]
+		_, err := ReadFrame(bytes.NewReader(raw))
+		if err == nil {
+			t.Errorf("%s: truncated frame accepted", c.name)
+		}
+		if errors.Is(err, ErrChecksum) {
+			t.Errorf("%s: truncation misreported as checksum mismatch", c.name)
+		}
 	}
 }
 
@@ -229,5 +273,58 @@ func TestSendFileErrors(t *testing.T) {
 	}
 	if _, err := RecvFile("/nonexistent-dir/x/y"); err == nil {
 		t.Error("RecvFile of missing file succeeded")
+	}
+}
+
+func TestRecvFileShortFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.state")
+	if err := SendFile(path, bytes.Repeat([]byte("x"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecvFile(path); err == nil {
+		t.Error("RecvFile of a half-written file succeeded")
+	}
+}
+
+func TestRecvFileChecksumMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.state")
+	if err := SendFile(path, bytes.Repeat([]byte("y"), 300)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecvFile(path); !errors.Is(err, ErrChecksum) {
+		t.Errorf("corrupted file: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestLoopbackPairCleanupIdempotent(t *testing.T) {
+	srv, cli, cleanup, err := LoopbackPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send([]byte("before cleanup")); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := srv.Recv(); err != nil || string(msg) != "before cleanup" {
+		t.Fatalf("recv before cleanup: %q, %v", msg, err)
+	}
+	cleanup()
+	cleanup() // second call must be a no-op, not a panic
+	if err := cli.Send([]byte("after")); err == nil {
+		t.Error("send on cleaned-up transport succeeded")
 	}
 }

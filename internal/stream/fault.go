@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/link"
+)
+
+// ErrInjected is the failure a Fault transport reports when it kills the
+// connection.
+var ErrInjected = errors.New("stream: injected transport fault")
+
+// Fault wraps a link.Transport with deterministic failure injection, used
+// by tests (and chaos experiments) to kill a connection at an arbitrary
+// chunk boundary or corrupt a frame in flight. The zero counters inject
+// nothing. Fault is safe for the writer/reader goroutine split the stream
+// layer uses.
+type Fault struct {
+	T link.Transport
+
+	mu sync.Mutex
+	// sendsLeft/recvsLeft: number of operations allowed to succeed before
+	// the connection is killed (negative = unlimited).
+	sendsLeft int
+	recvsLeft int
+	// corrupt holds 1-based Recv indexes that report link.ErrChecksum
+	// (the message itself is consumed, as a corrupt-but-aligned frame
+	// would be).
+	corrupt map[int]bool
+	recvN   int
+	dead    bool
+}
+
+// NewFault wraps t with no faults armed.
+func NewFault(t link.Transport) *Fault {
+	return &Fault{T: t, sendsLeft: -1, recvsLeft: -1}
+}
+
+// FailAfterSends arms the fault: the connection dies once n Sends have
+// succeeded (the n+1-th fails and the underlying transport closes).
+func (f *Fault) FailAfterSends(n int) *Fault {
+	f.mu.Lock()
+	f.sendsLeft = n
+	f.mu.Unlock()
+	return f
+}
+
+// FailAfterRecvs arms the fault on the receive side.
+func (f *Fault) FailAfterRecvs(n int) *Fault {
+	f.mu.Lock()
+	f.recvsLeft = n
+	f.mu.Unlock()
+	return f
+}
+
+// CorruptRecv makes the nth (1-based) successful Recv report
+// link.ErrChecksum instead of delivering its message.
+func (f *Fault) CorruptRecv(nth int) *Fault {
+	f.mu.Lock()
+	if f.corrupt == nil {
+		f.corrupt = make(map[int]bool)
+	}
+	f.corrupt[nth] = true
+	f.mu.Unlock()
+	return f
+}
+
+// kill closes the underlying transport so the peer observes the failure
+// too. Callers hold f.mu.
+func (f *Fault) kill() {
+	if !f.dead {
+		f.dead = true
+		f.T.Close()
+	}
+}
+
+// Send implements link.Transport.
+func (f *Fault) Send(payload []byte) error {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	if f.sendsLeft == 0 {
+		f.kill()
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	if f.sendsLeft > 0 {
+		f.sendsLeft--
+	}
+	f.mu.Unlock()
+	return f.T.Send(payload)
+}
+
+// Recv implements link.Transport.
+func (f *Fault) Recv() ([]byte, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
+	if f.recvsLeft == 0 {
+		f.kill()
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
+	if f.recvsLeft > 0 {
+		f.recvsLeft--
+	}
+	f.recvN++
+	corrupt := f.corrupt[f.recvN]
+	f.mu.Unlock()
+	msg, err := f.T.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if corrupt {
+		return nil, link.ErrChecksum
+	}
+	return msg, nil
+}
+
+// Close implements link.Transport.
+func (f *Fault) Close() error {
+	f.mu.Lock()
+	f.dead = true
+	f.mu.Unlock()
+	return f.T.Close()
+}

@@ -1,0 +1,234 @@
+// Package stream is the pipelined snapshot streaming layer of the
+// migration stack. It slots between the MSRM encoding layer
+// (internal/collect, driven through internal/vm and internal/core) and the
+// transport layer (internal/link): instead of materializing the whole
+// machine-independent snapshot and pushing it through one blocking
+// Transport.Send, the snapshot is cut into CRC-framed, sequence-numbered
+// chunks that a background goroutine transmits while collection of later
+// memory segments is still running, so collection time and wire time
+// overlap instead of adding.
+//
+// Three types cooperate:
+//
+//   - Writer cuts the byte stream into chunks and transmits them from a
+//     background goroutine behind a bounded window (backpressure: when the
+//     wire lags by Window chunks, the producer blocks, so memory per
+//     migration is bounded by Window*ChunkSize rather than the snapshot
+//     size);
+//   - Reader reassembles, verifies per-chunk and whole-stream checksums,
+//     acknowledges progress, and feeds restoration incrementally via Next;
+//   - Session wraps Writer with robustness: per-chunk acknowledgement
+//     watermarks, retention of unacknowledged chunks, reconnection with
+//     exponential backoff after a mid-stream disconnect, and resume from
+//     the receiver's high-water mark rather than from byte zero.
+//
+// # Wire protocol
+//
+// Every message is one link.Transport frame (which already carries its own
+// length + CRC framing). Messages are XDR-encoded:
+//
+//	hello  = magic, HELLO, sessionID u64         ; sender -> receiver on (re)connect
+//	resume = magic, RESUME, nextSeq u32          ; receiver's reply: first chunk it needs
+//	data   = magic, DATA, seq u32, crc u32, payload opaque
+//	ack    = magic, ACK, nextSeq u32             ; cumulative: all chunks < nextSeq held
+//	nack   = magic, NACK, nextSeq u32            ; corrupt chunk: rewind to nextSeq
+//	fin    = magic, FIN, chunks u32, bytes u64, crc u32  ; whole-stream CRC-32
+//	done   = magic, DONE, bytes u64              ; receiver verified the stream
+//
+// Sequence numbers start at zero and chunks are transmitted in order; the
+// receiver discards any chunk whose sequence number is not the one it
+// expects (duplicates arise naturally after a resume or a rewind). The
+// per-chunk CRC is redundant over TCP framing but pays for itself on
+// transports without integrity (files) and lets the receiver convert a
+// corrupt-but-aligned frame (link.ErrChecksum) into a NACK re-request
+// instead of a failed migration.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/xdr"
+)
+
+// streamMagic guards every stream-layer message ("MSTR").
+const streamMagic = 0x4d535452
+
+// Message types.
+const (
+	msgHello uint32 = iota + 1
+	msgResume
+	msgData
+	msgAck
+	msgNack
+	msgFin
+	msgDone
+)
+
+// Errors reported by the stream layer.
+var (
+	// ErrProtocol is returned when a peer sends a message that violates
+	// the stream protocol (bad magic, unexpected type, sequence gap).
+	ErrProtocol = errors.New("stream: protocol violation")
+	// ErrVerify is returned when the reassembled stream fails the
+	// whole-stream checksum or length check in FIN.
+	ErrVerify = errors.New("stream: stream verification failed")
+	// ErrRetriesExhausted is returned by a Session when reconnection
+	// attempts exceed Config.MaxRetries.
+	ErrRetriesExhausted = errors.New("stream: reconnect retries exhausted")
+)
+
+// Config tunes the streaming layer. The zero value selects the defaults.
+type Config struct {
+	// ChunkSize is the chunk payload size in bytes (default 256 KiB).
+	ChunkSize int
+	// Window is the maximum number of transmitted-but-unacknowledged
+	// chunks held by the sender; the producer blocks beyond it
+	// (default 16). Sender memory is bounded by Window*ChunkSize.
+	Window int
+	// AckEvery makes the receiver acknowledge after every N in-order
+	// chunks (default 4). The final FIN/DONE exchange always confirms
+	// the tail regardless.
+	AckEvery int
+	// MaxRetries bounds a Session's reconnection attempts after a
+	// transport failure (default 5; 0 uses the default, negative
+	// disables reconnection).
+	MaxRetries int
+	// RetryBase is the first reconnect backoff delay (default 20ms);
+	// subsequent attempts double it up to RetryMax (default 1s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256 << 10
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 4
+	}
+	if c.AckEvery > c.Window {
+		// The sender stalls at Window unacknowledged chunks; if the
+		// receiver acknowledged less often than that, neither side could
+		// make progress.
+		c.AckEvery = c.Window
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 20 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	return c
+}
+
+// chunk is one in-flight piece of the snapshot.
+type chunk struct {
+	seq     uint32
+	payload []byte
+}
+
+// message is a decoded stream-layer control or data message.
+type message struct {
+	typ     uint32
+	seq     uint32 // DATA seq; ACK/NACK/RESUME nextSeq; FIN chunk count
+	crc     uint32 // DATA / FIN
+	bytes   uint64 // FIN / DONE
+	session uint64 // HELLO
+	payload []byte // DATA
+}
+
+func marshalHello(sessionID uint64) []byte {
+	e := xdr.NewEncoder(16)
+	e.PutUint32(streamMagic)
+	e.PutUint32(msgHello)
+	e.PutUint64(sessionID)
+	return e.Bytes()
+}
+
+func marshalSeq(typ, nextSeq uint32) []byte {
+	e := xdr.NewEncoder(12)
+	e.PutUint32(streamMagic)
+	e.PutUint32(typ)
+	e.PutUint32(nextSeq)
+	return e.Bytes()
+}
+
+func marshalData(c chunk, crc uint32) []byte {
+	e := xdr.NewEncoder(len(c.payload) + 20)
+	e.PutUint32(streamMagic)
+	e.PutUint32(msgData)
+	e.PutUint32(c.seq)
+	e.PutUint32(crc)
+	e.PutOpaque(c.payload)
+	return e.Bytes()
+}
+
+func marshalFin(chunks uint32, bytes uint64, crc uint32) []byte {
+	e := xdr.NewEncoder(24)
+	e.PutUint32(streamMagic)
+	e.PutUint32(msgFin)
+	e.PutUint32(chunks)
+	e.PutUint64(bytes)
+	e.PutUint32(crc)
+	return e.Bytes()
+}
+
+func marshalDone(bytes uint64) []byte {
+	e := xdr.NewEncoder(16)
+	e.PutUint32(streamMagic)
+	e.PutUint32(msgDone)
+	e.PutUint64(bytes)
+	return e.Bytes()
+}
+
+// parseMessage decodes one stream-layer message.
+func parseMessage(raw []byte) (message, error) {
+	d := xdr.NewDecoder(raw)
+	magic, err := d.Uint32()
+	if err != nil || magic != streamMagic {
+		return message{}, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return message{}, fmt.Errorf("%w: missing type", ErrProtocol)
+	}
+	m := message{typ: typ}
+	switch typ {
+	case msgHello:
+		m.session, err = d.Uint64()
+	case msgResume, msgAck, msgNack:
+		m.seq, err = d.Uint32()
+	case msgData:
+		if m.seq, err = d.Uint32(); err != nil {
+			break
+		}
+		if m.crc, err = d.Uint32(); err != nil {
+			break
+		}
+		m.payload, err = d.Opaque()
+	case msgFin:
+		if m.seq, err = d.Uint32(); err != nil {
+			break
+		}
+		if m.bytes, err = d.Uint64(); err != nil {
+			break
+		}
+		m.crc, err = d.Uint32()
+	case msgDone:
+		m.bytes, err = d.Uint64()
+	default:
+		return message{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, typ)
+	}
+	if err != nil {
+		return message{}, fmt.Errorf("%w: truncated %d message", ErrProtocol, typ)
+	}
+	return m, nil
+}

@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"repro/internal/link"
+)
+
+// WriterStats summarizes one streamed transfer from the sending side.
+type WriterStats struct {
+	// Chunks and Bytes count the logical stream (retransmissions under a
+	// Session are counted separately in SessionStats).
+	Chunks int
+	Bytes  int64
+	// StallTime is how long the producer was blocked on the transmit
+	// window — the part of collection that could NOT be overlapped.
+	StallTime time.Duration
+	// CloseWait is how long Close waited for the receiver's DONE after
+	// the last byte was produced — the transmission tail that did not
+	// overlap with collection.
+	CloseWait time.Duration
+}
+
+// Writer cuts a byte stream into chunks and transmits them from a
+// background goroutine, so the producer (the MSRM collector) runs
+// concurrently with transmission. Writer implements io.WriteCloser; it is
+// not safe for concurrent Write calls. Close flushes the tail chunk, sends
+// FIN, and blocks until the receiver confirms the whole stream.
+//
+// Writer assumes a reliable transport: a send failure or a receiver NACK
+// aborts the transfer. Session layers retransmission and reconnection on
+// top of the same protocol.
+type Writer struct {
+	cfg   Config
+	t     link.Transport
+	buf   []byte
+	seq   uint32
+	crc   uint32
+	bytes int64
+
+	sendq chan chunk
+	// abort is closed by the background goroutines on failure so a
+	// blocked producer unblocks promptly.
+	abort     chan struct{}
+	done      chan struct{} // closed when DONE (or an error) arrives
+	abortOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+
+	stats WriterStats
+}
+
+// NewWriter starts a streamed transfer over t. The receiving side must be
+// running a Reader on the peer.
+func NewWriter(t link.Transport, cfg Config) *Writer {
+	cfg = cfg.withDefaults()
+	w := &Writer{
+		cfg:   cfg,
+		t:     t,
+		buf:   make([]byte, 0, cfg.ChunkSize),
+		sendq: make(chan chunk, cfg.Window),
+		abort: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go w.txLoop()
+	go w.recvLoop()
+	return w
+}
+
+func (w *Writer) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.abortOnce.Do(func() { close(w.abort) })
+}
+
+// Err returns the first transfer error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats returns the transfer statistics; call after Close.
+func (w *Writer) Stats() WriterStats { return w.stats }
+
+// txLoop drains the chunk queue onto the transport and finishes with FIN.
+func (w *Writer) txLoop() {
+	for c := range w.sendq {
+		if err := w.t.Send(marshalData(c, crc32.ChecksumIEEE(c.payload))); err != nil {
+			w.fail(fmt.Errorf("stream: chunk %d send: %w", c.seq, err))
+			// Keep draining so the producer never blocks on a dead queue.
+			continue
+		}
+	}
+	if w.Err() != nil {
+		return
+	}
+	if err := w.t.Send(marshalFin(w.seq, uint64(w.bytes), w.crc)); err != nil {
+		w.fail(fmt.Errorf("stream: fin send: %w", err))
+	}
+}
+
+// recvLoop consumes receiver messages: acknowledgement watermarks (ignored
+// by the plain Writer beyond bookkeeping), NACKs (fatal without a
+// Session), and the final DONE.
+func (w *Writer) recvLoop() {
+	defer close(w.done)
+	for {
+		raw, err := w.t.Recv()
+		if err != nil {
+			w.fail(fmt.Errorf("stream: recv: %w", err))
+			return
+		}
+		m, err := parseMessage(raw)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		switch m.typ {
+		case msgAck:
+			// Plain writers bound memory by the send queue alone.
+		case msgNack:
+			w.fail(fmt.Errorf("stream: receiver rejected chunk %d and no session to rewind", m.seq))
+			return
+		case msgDone:
+			// The receiver only sends DONE after verifying the FIN
+			// totals, so its byte count is authoritative; re-checking
+			// against w.bytes here would race with the producer.
+			return
+		default:
+			w.fail(fmt.Errorf("%w: unexpected %d message from receiver", ErrProtocol, m.typ))
+			return
+		}
+	}
+}
+
+// Write implements io.Writer: it buffers p, cutting and enqueueing
+// full chunks. It blocks when the transmit window is full.
+func (w *Writer) Write(p []byte) (int, error) {
+	if err := w.Err(); err != nil {
+		return 0, err
+	}
+	n := len(p)
+	for len(p) > 0 {
+		room := w.cfg.ChunkSize - len(w.buf)
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf = append(w.buf, p[:room]...)
+		p = p[room:]
+		if len(w.buf) == w.cfg.ChunkSize {
+			if err := w.cut(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// cut enqueues the buffered chunk for transmission.
+func (w *Writer) cut() error {
+	c := chunk{seq: w.seq, payload: w.buf}
+	w.seq++
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, c.payload)
+	w.bytes += int64(len(c.payload))
+	w.stats.Chunks++
+	w.buf = make([]byte, 0, w.cfg.ChunkSize)
+	start := time.Now()
+	select {
+	case w.sendq <- c:
+	default:
+		// Window full: the wire is the bottleneck; account the stall.
+		select {
+		case w.sendq <- c:
+		case <-w.abort:
+			return w.Err()
+		}
+	}
+	w.stats.StallTime += time.Since(start)
+	return w.Err()
+}
+
+// Close flushes the tail chunk, transmits FIN, and waits for the
+// receiver's DONE. It reports the first error of the whole transfer.
+func (w *Writer) Close() error {
+	if len(w.buf) > 0 && w.Err() == nil {
+		w.cut() // on failure the error is reported below
+	}
+	close(w.sendq)
+	start := time.Now()
+	<-w.done
+	w.stats.CloseWait = time.Since(start)
+	w.stats.Bytes = w.bytes
+	return w.Err()
+}

@@ -19,6 +19,7 @@ package types
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/arch"
 )
@@ -283,8 +284,22 @@ func (t *Type) FieldIndex(name string) int {
 	return -1
 }
 
+// lazyMu guards the per-Type lazy caches (scalarCount, layouts). Types
+// are interned and shared by every process compiled from a program, and
+// processes may run on concurrent goroutines (sched clusters, streamed
+// migrations), so the memoization must be synchronized. The lock is held
+// across the whole recursive computation so the in-progress recursion
+// marker is never observable from another goroutine.
+var lazyMu sync.Mutex
+
 // layoutFor computes (and caches) the machine-dependent geometry.
 func (t *Type) layoutFor(m *arch.Machine) layout {
+	lazyMu.Lock()
+	defer lazyMu.Unlock()
+	return t.layoutLocked(m)
+}
+
+func (t *Type) layoutLocked(m *arch.Machine) layout {
 	if l, ok := t.layouts[m]; ok {
 		return l
 	}
@@ -298,7 +313,7 @@ func (t *Type) layoutFor(m *arch.Machine) layout {
 	case KPointer:
 		l = layout{size: m.PtrSize(), align: m.AlignOf(arch.Ptr)}
 	case KArray:
-		el := t.Elem.layoutFor(m)
+		el := t.Elem.layoutLocked(m)
 		l = layout{size: el.size * t.Len, align: el.align}
 	case KStruct:
 		if !t.complete {
@@ -308,7 +323,7 @@ func (t *Type) layoutFor(m *arch.Machine) layout {
 		align := 1
 		l.offsets = make([]int, len(t.Fields))
 		for i, f := range t.Fields {
-			fl := f.Type.layoutFor(m)
+			fl := f.Type.layoutLocked(m)
 			off = arch.Align(off, fl.align)
 			l.offsets[i] = off
 			off += fl.size
@@ -344,6 +359,12 @@ func (t *Type) OffsetOf(m *arch.Machine, i int) int {
 // It is machine-independent, making it the unit of the paper's
 // machine-independent pointer offsets.
 func (t *Type) ScalarCount() int {
+	lazyMu.Lock()
+	defer lazyMu.Unlock()
+	return t.scalarCountLocked()
+}
+
+func (t *Type) scalarCountLocked() int {
 	if t.scalarCount >= 0 {
 		return t.scalarCount
 	}
@@ -362,10 +383,10 @@ func (t *Type) ScalarCount() int {
 	case KPointer:
 		n = 1
 	case KArray:
-		n = t.Len * t.Elem.ScalarCount()
+		n = t.Len * t.Elem.scalarCountLocked()
 	case KStruct:
 		for _, f := range t.Fields {
-			n += f.Type.ScalarCount()
+			n += f.Type.scalarCountLocked()
 		}
 	}
 	t.scalarCount = n

@@ -43,17 +43,18 @@ func (p *Process) execStmt(f *Frame, s minic.Stmt) (ctrl, error) {
 	case *minic.ExprStmt:
 		if st.Site != nil {
 			f.curSite = st.Site
-			defer func() { f.curSite = nil }()
 		}
 		_, err := p.evalExpr(f, st.X)
 		if err != nil {
-			if me, ok := err.(*migrateSignal); ok {
-				_ = me
+			if _, ok := err.(*migrateSignal); ok {
+				// Migration unwound through this call statement: the frame
+				// stays stopped at it, and curSite stays set so a later
+				// recapture (Recapture/CaptureTo) can record the site.
 				return ctrlMigrate, nil
 			}
-			return ctrlNext, err
 		}
-		return ctrlNext, nil
+		f.curSite = nil
+		return ctrlNext, err
 
 	case *minic.If:
 		c, err := p.evalExpr(f, st.Cond)
@@ -434,13 +435,16 @@ func (p *Process) resumeCallSite(f *Frame, st *minic.ExprStmt) (ctrl, error) {
 	}
 	f.curSite = st.Site
 	c, err := p.execResumeFrame(callee)
-	f.curSite = nil
 	if err != nil {
+		f.curSite = nil
 		return ctrlNext, err
 	}
 	if c == ctrlMigrate {
+		// Keep curSite: this frame is stopped at the call statement for
+		// any recapture of the migrating process.
 		return ctrlMigrate, nil
 	}
+	f.curSite = nil
 	ret := callee.retVal
 	if err := p.popFrame(); err != nil {
 		return ctrlNext, err

@@ -57,6 +57,28 @@ func (p *Process) RestoreElapsed() time.Duration { return p.restoreElapsed }
 // collection repeatedly without re-executing the program; collection does
 // not modify the process, so every capture yields an identical stream.
 func (p *Process) Recapture() ([]byte, error) {
+	site, err := p.stoppedSite()
+	if err != nil {
+		return nil, err
+	}
+	return p.captureState(site)
+}
+
+// CaptureTo re-collects the full process state at the stopped migration
+// point, writing into enc instead of a fresh buffer. When enc has a flush
+// sink attached (xdr.Encoder.SetSink), completed prefixes of the stream are
+// handed to the sink as collection proceeds, overlapping the depth-first
+// MSR traversal with transmission. The caller owns the final FlushSink.
+func (p *Process) CaptureTo(enc *xdr.Encoder) error {
+	site, err := p.stoppedSite()
+	if err != nil {
+		return err
+	}
+	return p.captureStateTo(enc, site)
+}
+
+// stoppedSite resolves the migration site this process is stopped at.
+func (p *Process) stoppedSite() (*minic.Site, error) {
 	site := p.lastSite
 	if site == nil && len(p.resumeSites) > 0 {
 		// A freshly restored process is stopped at the site its
@@ -67,15 +89,24 @@ func (p *Process) Recapture() ([]byte, error) {
 	if site == nil {
 		return nil, errors.New("vm: process is not stopped at a migration point")
 	}
-	return p.captureState(site)
+	return site, nil
 }
 
 // captureState encodes the full process state at a migration point.
 // innermost is the poll site that triggered the migration.
 func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
+	enc := xdr.NewEncoder(1 << 12)
+	if err := p.captureStateTo(enc, innermost); err != nil {
+		return nil, err
+	}
+	return enc.Bytes(), nil
+}
+
+// captureStateTo encodes the full process state at a migration point into
+// the supplied encoder.
+func (p *Process) captureStateTo(enc *xdr.Encoder, innermost *minic.Site) error {
 	p.lastSite = innermost
 	captureStart := time.Now()
-	enc := xdr.NewEncoder(1 << 12)
 	enc.PutUint32(execMagic)
 	enc.PutUint32(uint32(len(p.frames)))
 
@@ -93,7 +124,7 @@ func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
 			site = p.resumeSites[i]
 		}
 		if site == nil {
-			return nil, fmt.Errorf("vm: frame %d (%s) has no active migration site", f.Depth, f.Fn.Name)
+			return fmt.Errorf("vm: frame %d (%s) has no active migration site", f.Depth, f.Fn.Name)
 		}
 		sites[i] = site
 		enc.PutString(f.Fn.Name)
@@ -108,14 +139,14 @@ func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
 		f := p.frames[i]
 		for _, v := range sites[i].Live {
 			if err := saver.SaveVariable(p.VarAddr(f, v)); err != nil {
-				return nil, fmt.Errorf("vm: collecting %s in %s: %w", v.Name, f.Fn.Name, err)
+				return fmt.Errorf("vm: collecting %s in %s: %w", v.Name, f.Fn.Name, err)
 			}
 		}
 	}
 	// Globals last.
 	for _, g := range p.Prog.Globals {
 		if err := saver.SaveVariable(p.globalAddrs[g.Index]); err != nil {
-			return nil, fmt.Errorf("vm: collecting global %s: %w", g.Name, err)
+			return fmt.Errorf("vm: collecting global %s: %w", g.Name, err)
 		}
 	}
 	saver.Finish()
@@ -125,7 +156,7 @@ func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
 		Bytes:   enc.Len(),
 		Elapsed: time.Since(captureStart),
 	}
-	return enc.Bytes(), nil
+	return nil
 }
 
 // RestoreProcess builds a process on machine m from a captured state and

@@ -25,8 +25,20 @@ var ErrLength = errors.New("xdr: invalid length")
 
 // Encoder appends XDR-encoded values to an internal buffer.
 // The zero value is ready to use.
+//
+// An encoder can optionally stream: SetSink attaches a function that
+// receives completed prefixes of the stream whenever the buffer passes a
+// threshold, so a producer (the MSRM collector) overlaps encoding with
+// transmission instead of materializing the whole stream first.
 type Encoder struct {
 	buf []byte
+
+	// sink, when non-nil, receives completed prefixes of the stream.
+	sink          func([]byte) error
+	sinkThreshold int
+	sinkErr       error
+	// flushed counts bytes already handed to the sink.
+	flushed int
 }
 
 // NewEncoder returns an encoder whose buffer has the given initial capacity.
@@ -34,17 +46,69 @@ func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
 }
 
-// Bytes returns the encoded stream. The slice aliases the encoder's
-// internal buffer and is valid until the next Put call.
+// SetSink attaches fn to receive completed prefixes of the encoded stream.
+// Whenever a Put begins with at least threshold buffered bytes, the buffer
+// is passed to fn and reset; the slice is only valid for the duration of
+// the call. Call FlushSink after the last Put to deliver the tail. Once fn
+// returns an error the sink is abandoned: further completed prefixes are
+// discarded (keeping memory bounded) and the error is reported by
+// FlushSink and SinkErr.
+func (e *Encoder) SetSink(threshold int, fn func([]byte) error) {
+	if threshold <= 0 {
+		threshold = 32 * 1024
+	}
+	e.sink = fn
+	e.sinkThreshold = threshold
+}
+
+// SinkErr returns the first error returned by the sink, if any.
+func (e *Encoder) SinkErr() error { return e.sinkErr }
+
+// FlushSink delivers any buffered tail to the sink and returns the first
+// sink error. It is a no-op on an encoder without a sink.
+func (e *Encoder) FlushSink() error {
+	if e.sink != nil && len(e.buf) > 0 {
+		e.emit()
+	}
+	return e.sinkErr
+}
+
+// emit hands the current buffer to the sink and resets it. Bytes handed
+// over after a sink error are dropped so a dead sink does not grow the
+// buffer without bound.
+func (e *Encoder) emit() {
+	if e.sinkErr == nil {
+		if err := e.sink(e.buf); err != nil {
+			e.sinkErr = err
+		}
+	}
+	e.flushed += len(e.buf)
+	e.buf = e.buf[:0]
+}
+
+// Bytes returns the encoded stream not yet handed to a sink. The slice
+// aliases the encoder's internal buffer and is valid until the next Put
+// call. For an encoder without a sink this is the whole stream.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
-// Len returns the number of encoded bytes.
-func (e *Encoder) Len() int { return len(e.buf) }
+// Len returns the total number of encoded bytes, including any already
+// delivered to a sink.
+func (e *Encoder) Len() int { return e.flushed + len(e.buf) }
 
-// Reset discards the encoded stream, retaining the buffer.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+// Reset discards the encoded stream, retaining the buffer and sink.
+func (e *Encoder) Reset() {
+	e.buf = e.buf[:0]
+	e.flushed = 0
+	e.sinkErr = nil
+}
 
 func (e *Encoder) grow(n int) []byte {
+	// All bytes currently buffered were filled by completed Put/Grow calls
+	// (a Grow caller fills its slice before the next encoder call), so the
+	// prefix is complete and may be streamed out before appending.
+	if e.sink != nil && len(e.buf) >= e.sinkThreshold {
+		e.emit()
+	}
 	l := len(e.buf)
 	if l+n <= cap(e.buf) {
 		e.buf = e.buf[:l+n]
@@ -101,12 +165,26 @@ func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
 
 // PutFixedOpaque encodes fixed-length opaque data: the bytes followed by
 // zero padding to a four-byte boundary. The decoder must know the length.
+// With a sink attached the block is appended in threshold-sized segments,
+// so even one block much larger than the chunk size streams out
+// incrementally; the encoded bytes are identical either way.
 func (e *Encoder) PutFixedOpaque(p []byte) {
-	n := (len(p) + 3) &^ 3
-	b := e.grow(n)
-	copy(b, p)
-	for i := len(p); i < n; i++ {
-		b[i] = 0
+	total := (len(p) + 3) &^ 3
+	off := 0
+	for off < total {
+		seg := total - off
+		if e.sink != nil && e.sinkThreshold >= 4 && seg > e.sinkThreshold {
+			seg = e.sinkThreshold &^ 3
+		}
+		b := e.grow(seg)
+		var m int
+		if off < len(p) {
+			m = copy(b, p[off:])
+		}
+		for i := m; i < seg; i++ {
+			b[i] = 0
+		}
+		off += seg
 	}
 }
 
@@ -130,20 +208,31 @@ func (e *Encoder) PutString(s string) {
 
 // PutFloat64s encodes a slice of doubles without a length prefix
 // (an XDR fixed-length array). This is the hot path when collecting
-// large numeric blocks such as the linpack matrices.
+// large numeric blocks such as the linpack matrices. With a sink attached
+// the array is appended in threshold-sized segments so it streams out
+// incrementally; the encoded bytes are identical either way.
 func (e *Encoder) PutFloat64s(vs []float64) {
-	b := e.grow(8 * len(vs))
-	for i, v := range vs {
-		bits := math.Float64bits(v)
-		off := 8 * i
-		b[off+0] = byte(bits >> 56)
-		b[off+1] = byte(bits >> 48)
-		b[off+2] = byte(bits >> 40)
-		b[off+3] = byte(bits >> 32)
-		b[off+4] = byte(bits >> 24)
-		b[off+5] = byte(bits >> 16)
-		b[off+6] = byte(bits >> 8)
-		b[off+7] = byte(bits)
+	for len(vs) > 0 {
+		seg := len(vs)
+		if e.sink != nil {
+			if max := e.sinkThreshold / 8; max >= 1 && seg > max {
+				seg = max
+			}
+		}
+		b := e.grow(8 * seg)
+		for i, v := range vs[:seg] {
+			bits := math.Float64bits(v)
+			off := 8 * i
+			b[off+0] = byte(bits >> 56)
+			b[off+1] = byte(bits >> 48)
+			b[off+2] = byte(bits >> 40)
+			b[off+3] = byte(bits >> 32)
+			b[off+4] = byte(bits >> 24)
+			b[off+5] = byte(bits >> 16)
+			b[off+6] = byte(bits >> 8)
+			b[off+7] = byte(bits)
+		}
+		vs = vs[seg:]
 	}
 }
 
@@ -151,6 +240,17 @@ func (e *Encoder) PutFloat64s(vs []float64) {
 // runs of scalars directly (the type-specific saving functions). The
 // caller must fill all n bytes and keep the stream four-byte aligned.
 func (e *Encoder) Grow(n int) []byte { return e.grow(n) }
+
+// SegmentHint returns the sink flush threshold when a sink is attached, or
+// 0 without one. Callers reserving large runs through Grow should bound
+// each reservation by this value so the stream keeps flushing; a single
+// oversized reservation cannot be delivered until it is completely filled.
+func (e *Encoder) SegmentHint() int {
+	if e.sink == nil {
+		return 0
+	}
+	return e.sinkThreshold
+}
 
 // Decoder reads XDR-encoded values from a byte slice.
 type Decoder struct {
