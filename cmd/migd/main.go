@@ -1,54 +1,82 @@
 // migd demonstrates real heterogeneous process migration between OS
 // processes over TCP, following the paper's workflow: the migratable
-// program is pre-distributed (both sides read the same source file); the
-// destination daemon is invoked and waits for the execution and memory
-// states; the source process runs until the requested poll-point, collects
-// its state, transmits it, and terminates; the daemon restores the state
-// and resumes execution from the migration point.
+// programs are pre-distributed (both sides read the same source files);
+// the destination daemon waits for execution and memory states; a source
+// process runs until the requested poll-point, collects its state,
+// transmits it, and terminates; the daemon restores the state and resumes
+// execution from the migration point.
+//
+// The daemon is persistent and concurrent: it serves many migrations —
+// sequential or simultaneous, bounded by -max-concurrent — and many
+// pre-distributed programs (-program is repeatable in serve mode), until
+// SIGTERM/SIGINT starts a graceful drain.
 //
 // Destination (start first):
 //
-//	migd serve -addr 127.0.0.1:7464 -machine sparc20 -program prog.mc
+//	migd serve -addr 127.0.0.1:7464 -machine sparc20 -program prog.mc -program other.mc
 //
 // Source:
 //
 //	migd run -addr 127.0.0.1:7464 -machine dec5000 -program prog.mc -after-polls 3
 //
-// With -stream on both sides the snapshot is transferred through the
-// pipelined chunk layer (internal/stream): transmission overlaps
-// collection, chunks are CRC-verified and acknowledged, and a dropped
-// connection is resumed from the last acknowledged chunk instead of
-// aborting the migration. -chunk and -window tune the stream; -retry and
-// -retry-timeout let the source wait for a destination that has not
-// started listening yet.
+// Each migration opens with a negotiated handshake (internal/session):
+// the client offers the protocol versions it speaks plus chunk/window
+// proposals for the pipelined path, and the daemon picks the highest
+// common version and the more conservative parameters. Nothing has to be
+// flag-matched across operators: a -no-stream (monolithic, v1) client and
+// a streaming (v2) client can migrate into the same daemon back to back
+// or at the same time. -retry and -retry-timeout let the source wait for
+// a daemon that has not started listening yet.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/minic"
-	"repro/internal/stream"
+	"repro/internal/session"
 	"repro/internal/vm"
 )
 
 // options collects the command line shared by both modes.
 type options struct {
-	addr         string
-	maxSteps     int64
-	afterPolls   int
-	streamMode   bool
-	chunkSize    int
-	window       int
-	retries      int
-	retryTimeout time.Duration
+	addr           string
+	maxSteps       int64
+	afterPolls     int
+	noStream       bool
+	chunkSize      int
+	window         int
+	retries        int
+	retryTimeout   time.Duration
+	maxConcurrent  int
+	sessionTimeout time.Duration
+}
+
+// namedEngine pairs a compiled engine with its registry name (the program
+// file's base name).
+type namedEngine struct {
+	name   string
+	engine *core.Engine
+}
+
+// programList is the repeatable -program flag.
+type programList []string
+
+func (p *programList) String() string { return strings.Join(*p, ",") }
+
+func (p *programList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
 }
 
 func main() {
@@ -56,69 +84,109 @@ func main() {
 		usage()
 	}
 	mode := os.Args[1]
+	switch mode {
+	case "serve", "run":
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		// A valid-looking typo gets a diagnostic, not the usage screen.
+		fmt.Fprintf(os.Stderr, "migd: unknown mode %q (want \"serve\" or \"run\")\n", mode)
+		os.Exit(2)
+	}
+
 	fs := flag.NewFlagSet("migd "+mode, flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7464", "daemon address")
 	machineName := fs.String("machine", "ultra5", "machine this node simulates")
-	program := fs.String("program", "", "pre-distributed MigC source file")
+	var programs programList
+	fs.Var(&programs, "program", "pre-distributed MigC source file (repeatable in serve mode)")
 	afterPolls := fs.Int("after-polls", 1, "run: migrate at the N-th poll-point")
 	maxSteps := fs.Int64("max-steps", 4_000_000_000, "statement budget")
-	streamMode := fs.Bool("stream", false, "pipelined chunked transfer (overlap collection and transmission; both sides must use it)")
-	chunkSize := fs.Int("chunk", 256<<10, "stream mode: chunk size in bytes")
-	window := fs.Int("window", 16, "stream mode: transmit window in chunks")
+	noStream := fs.Bool("no-stream", false, "run: offer only the monolithic (v1) transfer instead of negotiating up to the pipelined (v2) path")
+	chunkSize := fs.Int("chunk", 256<<10, "pipelined path: chunk-size proposal in bytes (negotiated to the smaller of both sides')")
+	window := fs.Int("window", 16, "pipelined path: transmit-window proposal in chunks (negotiated likewise)")
 	retries := fs.Int("retry", 0, "run: extra dial attempts while the destination is not listening yet")
 	retryTimeout := fs.Duration("retry-timeout", 30*time.Second, "run: give up redialing after this long")
+	maxConcurrent := fs.Int("max-concurrent", 4, "serve: migrations handled simultaneously")
+	sessionTimeout := fs.Duration("session-timeout", 2*time.Minute, "serve: per-session wall-time bound, handshake through restoration (0 disables)")
 	fs.Parse(os.Args[2:])
 
-	if *program == "" {
-		fmt.Fprintln(os.Stderr, "migd: -program is required")
-		os.Exit(2)
-	}
-	m := arch.Lookup(*machineName)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "migd: unknown machine %q\n", *machineName)
-		os.Exit(2)
-	}
-	src, err := os.ReadFile(*program)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "migd:", err)
-		os.Exit(1)
-	}
-	engine, err := core.NewEngine(string(src), minic.DefaultPolicy)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", *program, err)
-		os.Exit(1)
-	}
+	m := lookupMachine(*machineName)
+	engines := loadEngines(programs, mode)
 
 	opts := options{
-		addr:         *addr,
-		maxSteps:     *maxSteps,
-		afterPolls:   *afterPolls,
-		streamMode:   *streamMode,
-		chunkSize:    *chunkSize,
-		window:       *window,
-		retries:      *retries,
-		retryTimeout: *retryTimeout,
+		addr:           *addr,
+		maxSteps:       *maxSteps,
+		afterPolls:     *afterPolls,
+		noStream:       *noStream,
+		chunkSize:      *chunkSize,
+		window:         *window,
+		retries:        *retries,
+		retryTimeout:   *retryTimeout,
+		maxConcurrent:  *maxConcurrent,
+		sessionTimeout: *sessionTimeout,
 	}
-	switch mode {
-	case "serve":
-		serve(engine, m, opts)
-	case "run":
-		run(engine, m, opts)
-	default:
-		usage()
+	if mode == "serve" {
+		serve(engines, m, opts)
+	} else {
+		run(engines[0], m, opts)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  migd serve -addr HOST:PORT -machine NAME -program FILE [-stream [-chunk N -window N]]
+  migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
+             [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
-             [-stream [-chunk N -window N]] [-retry N -retry-timeout D]`)
+             [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]`)
 	os.Exit(2)
 }
 
-func (o options) streamConfig() stream.Config {
-	return stream.Config{ChunkSize: o.chunkSize, Window: o.window}
+// lookupMachine resolves the simulated machine or exits with a diagnostic.
+func lookupMachine(name string) *arch.Machine {
+	m := arch.Lookup(name)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "migd: unknown machine %q\n", name)
+		os.Exit(2)
+	}
+	return m
+}
+
+// loadEngines compiles every pre-distributed program — the engine
+// construction boilerplate shared by serve and run. run takes exactly one
+// program; serve takes one or more.
+func loadEngines(paths programList, mode string) []namedEngine {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "migd: -program is required")
+		os.Exit(2)
+	}
+	if mode == "run" && len(paths) > 1 {
+		fmt.Fprintln(os.Stderr, "migd: run migrates one program; pass -program once")
+		os.Exit(2)
+	}
+	engines := make([]namedEngine, 0, len(paths))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migd:", err)
+			os.Exit(1)
+		}
+		engine, err := core.NewEngine(string(src), minic.DefaultPolicy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		engines = append(engines, namedEngine{name: filepath.Base(path), engine: engine})
+	}
+	return engines
+}
+
+// sessionConfig builds this side's negotiation posture from the flags.
+func (o options) sessionConfig() session.Config {
+	cfg := session.Config{ChunkSize: o.chunkSize, Window: o.window}
+	if o.noStream {
+		cfg.MaxVersion = core.VersionMono
+	}
+	return cfg
 }
 
 // dialRetry dials the daemon, retrying with backoff while the destination
@@ -147,80 +215,67 @@ func dialRetry(addr string, retries int, timeout time.Duration) (link.Transport,
 	}
 }
 
-// serve waits for one migrating process, restores it, and runs it to
-// completion (or to a further migration, which this minimal daemon does
-// not chain).
-func serve(engine *core.Engine, m *arch.Machine, o options) {
-	l, err := net.Listen("tcp", o.addr)
+// serve runs the persistent daemon: every inbound connection negotiates a
+// session, restores its process, and runs it to completion on a bounded
+// worker pool. SIGTERM/SIGINT drains in-flight sessions before exiting.
+func serve(engines []namedEngine, m *arch.Machine, o options) {
+	l, err := link.Listen(o.addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("[migd %s] waiting for migrating process on %s\n", m.Name, o.addr)
+	reg := session.NewRegistry()
+	names := make([]string, 0, len(engines))
+	for _, ne := range engines {
+		reg.Add(ne.name, ne.engine)
+		names = append(names, fmt.Sprintf("%s(%08x)", ne.name, ne.engine.Digest()))
+	}
 
-	var p *vm.Process
-	var timing core.Timing
-	var final link.Transport
-	if o.streamMode {
-		accept := func() (link.Transport, error) {
-			conn, aerr := l.Accept()
-			if aerr != nil {
-				return nil, aerr
+	d := &session.Daemon{
+		Registry:      reg,
+		Mach:          m,
+		Config:        o.sessionConfig(),
+		MaxConcurrent: o.maxConcurrent,
+		Timeout:       o.sessionTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[migd %s] %s\n", m.Name, fmt.Sprintf(format, args...))
+		},
+		OnRestored: func(info session.Info, p *vm.Process, timing core.Timing) {
+			fmt.Printf("[migd %s] session %d: restored %q (%d bytes in %.4fs); resuming\n",
+				m.Name, info.ID, info.Program, timing.Bytes, timing.Restore.Seconds())
+			p.Stdout = os.Stdout
+			p.MaxSteps = o.maxSteps
+			res, err := p.Run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "[migd %s] session %d: %v\n", m.Name, info.ID, err)
+				return
 			}
-			return link.NewConn(conn), nil
-		}
-		t, aerr := accept()
-		if aerr != nil {
-			fmt.Fprintln(os.Stderr, "migd:", aerr)
-			os.Exit(1)
-		}
-		r := stream.NewReader(t, o.streamConfig())
-		// A dropped connection mid-stream is survivable: the source's
-		// session redials and the transfer resumes where it left off.
-		r.SetReaccept(accept)
-		p, timing, err = engine.ReceiveAndRestoreStream(r, m)
-		if err == nil && r.Stats().Reconnects > 0 {
-			fmt.Printf("[migd %s] stream resumed across %d reconnect(s)\n", m.Name, r.Stats().Reconnects)
-		}
-		final = r.Transport()
-	} else {
-		conn, aerr := l.Accept()
-		if aerr != nil {
-			fmt.Fprintln(os.Stderr, "migd:", aerr)
-			os.Exit(1)
-		}
-		final = link.NewConn(conn)
-		p, timing, err = engine.ReceiveAndRestore(final, m)
+			fmt.Printf("[migd %s] session %d: process completed with exit code %d\n",
+				m.Name, info.ID, res.ExitCode)
+		},
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "migd: restore failed:", err)
-		os.Exit(1)
-	}
-	// Acknowledge so the source may terminate.
-	if err := final.Send([]byte("restored")); err != nil {
-		fmt.Fprintln(os.Stderr, "migd:", err)
-		os.Exit(1)
-	}
-	final.Close()
-	l.Close()
-	fmt.Printf("[migd %s] restored %d bytes in %.4fs; resuming\n",
-		m.Name, timing.Bytes, timing.Restore.Seconds())
 
-	p.Stdout = os.Stdout
-	p.MaxSteps = o.maxSteps
-	res, err := p.Run()
-	if err != nil {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "[migd %s] %v: draining in-flight sessions\n", m.Name, s)
+		d.Shutdown()
+	}()
+
+	fmt.Printf("[migd %s] serving %s on %s (max %d concurrent)\n",
+		m.Name, strings.Join(names, ", "), l.Addr(), o.maxConcurrent)
+	if err := d.Serve(l); err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("[migd %s] process completed with exit code %d\n", m.Name, res.ExitCode)
-	os.Exit(res.ExitCode)
+	fmt.Printf("[migd %s] drained: %s\n", m.Name, d.Counters().Snapshot())
 }
 
 // run executes the program locally until the N-th poll-point, then
-// migrates it to the daemon.
-func run(engine *core.Engine, m *arch.Machine, o options) {
-	p, err := engine.NewProcess(m)
+// migrates it to the daemon through a negotiated session.
+func run(ne namedEngine, m *arch.Machine, o options) {
+	p, err := ne.engine.NewProcess(m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
@@ -242,40 +297,22 @@ func run(engine *core.Engine, m *arch.Machine, o options) {
 		os.Exit(res.ExitCode)
 	}
 
-	var timing core.Timing
-	var final link.Transport
-	if o.streamMode {
-		dial := func() (link.Transport, error) {
-			return dialRetry(o.addr, o.retries, o.retryTimeout)
-		}
-		sess := stream.NewSession(dial, uint64(os.Getpid()), o.streamConfig())
-		timing, err = engine.SendStream(sess, m, p, o.streamConfig().ChunkSize)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "migd: transfer failed:", err)
-			os.Exit(1)
-		}
-		if st := sess.Stats(); st.Reconnects > 0 {
-			fmt.Printf("[migd %s] stream resumed across %d reconnect(s) (%d chunks retransmitted)\n",
-				m.Name, st.Reconnects, st.Retransmits)
-		}
-		final = sess.Transport()
-	} else {
-		final, err = dialRetry(o.addr, o.retries, o.retryTimeout)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "migd:", err)
-			os.Exit(1)
-		}
-		timing, err = engine.Send(final, m, res.State)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "migd: transfer failed:", err)
-			os.Exit(1)
-		}
-	}
-	if ack, err := final.Recv(); err != nil || string(ack) != "restored" {
-		fmt.Fprintln(os.Stderr, "migd: destination did not acknowledge:", err)
+	t, err := dialRetry(o.addr, o.retries, o.retryTimeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
 		os.Exit(1)
 	}
-	final.Close()
-	fmt.Printf("[migd %s] migrated %d bytes (collect %.4fs, tx %.4fs); terminating\n",
-		m.Name, timing.Bytes, p.CaptureStats().Elapsed.Seconds(), timing.Tx.Seconds())
+	defer t.Close()
+	sres, err := session.Initiate(t, ne.engine, m, ne.name, p, o.sessionConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd: migration failed:", err)
+		os.Exit(1)
+	}
+	prm := sres.Params
+	how := fmt.Sprintf("monolithic v%d", prm.Version)
+	if prm.Version == core.VersionStream {
+		how = fmt.Sprintf("streamed v%d, chunk %d, window %d", prm.Version, prm.ChunkSize, prm.Window)
+	}
+	fmt.Printf("[migd %s] migrated %d bytes (%s; collect %.4fs, tx %.4fs); terminating\n",
+		m.Name, sres.Timing.Bytes, how, sres.Timing.Collect.Seconds(), sres.Timing.Tx.Seconds())
 }

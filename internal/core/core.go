@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,12 +28,6 @@ import (
 	"repro/internal/minic"
 	"repro/internal/vm"
 	"repro/internal/xdr"
-)
-
-// envelope layout constants.
-const (
-	envMagic   = 0x48504d31 // "HPM1"
-	envVersion = 1
 )
 
 // Errors returned by envelope handling.
@@ -51,6 +46,9 @@ type Engine struct {
 	Policy minic.PollPolicy
 	// Source is retained for diagnostics and redistribution.
 	Source string
+
+	digestOnce sync.Once
+	digestVal  uint32
 }
 
 // NewEngine compiles source into migratable format with the given
@@ -68,16 +66,21 @@ func (e *Engine) NewProcess(m *arch.Machine) (*vm.Process, error) {
 	return vm.NewProcess(e.Prog, m)
 }
 
-// digest identifies the program for envelope verification: the TI table
-// digest combined with the shape of the function and site tables.
-func (e *Engine) digest() uint32 {
-	h := crc32.NewIEEE()
-	fmt.Fprintf(h, "ti:%08x\n", e.Prog.TI.Digest())
-	for _, f := range e.Prog.Funcs {
-		fmt.Fprintf(h, "fn:%s/%d/%d/%d\n", f.Name, len(f.Params), len(f.Locals), len(f.Sites))
-	}
-	fmt.Fprintf(h, "globals:%d\n", len(e.Prog.Globals))
-	return h.Sum32()
+// Digest identifies the program for envelope verification and session
+// negotiation: the TI table digest combined with the shape of the function
+// and site tables. It is computed once per engine — envelope and stream
+// paths consult it on every header, so it must be cheap.
+func (e *Engine) Digest() uint32 {
+	e.digestOnce.Do(func() {
+		h := crc32.NewIEEE()
+		fmt.Fprintf(h, "ti:%08x\n", e.Prog.TI.Digest())
+		for _, f := range e.Prog.Funcs {
+			fmt.Fprintf(h, "fn:%s/%d/%d/%d\n", f.Name, len(f.Params), len(f.Locals), len(f.Sites))
+		}
+		fmt.Fprintf(h, "globals:%d\n", len(e.Prog.Globals))
+		e.digestVal = h.Sum32()
+	})
+	return e.digestVal
 }
 
 // Seal wraps a captured process state into a transport envelope carrying
@@ -85,10 +88,7 @@ func (e *Engine) digest() uint32 {
 // payload checksum.
 func (e *Engine) Seal(state []byte, src *arch.Machine) []byte {
 	enc := xdr.NewEncoder(len(state) + 64)
-	enc.PutUint32(envMagic)
-	enc.PutUint32(envVersion)
-	enc.PutString(src.Name)
-	enc.PutUint32(e.digest())
+	putHeader(enc, VersionMono, src.Name, e.Digest())
 	enc.PutUint32(crc32.ChecksumIEEE(state))
 	enc.PutOpaque(state)
 	return enc.Bytes()
@@ -98,27 +98,9 @@ func (e *Engine) Seal(state []byte, src *arch.Machine) []byte {
 // machine name.
 func (e *Engine) Open(envelope []byte) (state []byte, srcName string, err error) {
 	dec := xdr.NewDecoder(envelope)
-	magic, err := dec.Uint32()
-	if err != nil || magic != envMagic {
-		return nil, "", ErrBadEnvelope
-	}
-	ver, err := dec.Uint32()
+	h, err := e.openHeader(dec, VersionMono)
 	if err != nil {
-		return nil, "", ErrBadEnvelope
-	}
-	if ver != envVersion {
-		return nil, "", ErrVersionMismatch
-	}
-	srcName, err = dec.String()
-	if err != nil {
-		return nil, "", ErrBadEnvelope
-	}
-	digest, err := dec.Uint32()
-	if err != nil {
-		return nil, "", ErrBadEnvelope
-	}
-	if digest != e.digest() {
-		return nil, "", ErrProgramMismatch
+		return nil, "", err
 	}
 	sum, err := dec.Uint32()
 	if err != nil {
@@ -131,7 +113,7 @@ func (e *Engine) Open(envelope []byte) (state []byte, srcName string, err error)
 	if crc32.ChecksumIEEE(state) != sum {
 		return nil, "", ErrChecksum
 	}
-	return state, srcName, nil
+	return state, h.srcName, nil
 }
 
 // Restore verifies an envelope and builds the resumed process on machine m.
@@ -264,6 +246,7 @@ func (e *Engine) RunWithMigration(src, dst *arch.Machine, configure func(*vm.Pro
 
 	a, b := link.Pipe()
 	defer a.Close()
+	defer b.Close()
 	type recvResult struct {
 		q   *vm.Process
 		t   Timing
@@ -274,11 +257,17 @@ func (e *Engine) RunWithMigration(src, dst *arch.Machine, configure func(*vm.Pro
 		q, rt, rerr := e.ReceiveAndRestore(b, dst)
 		recvc <- recvResult{q, rt, rerr}
 	}()
-	tx, err := e.Send(a, p.Mach, res.State)
-	if err != nil {
-		return nil, err
+	tx, txErr := e.Send(a, p.Mach, res.State)
+	if txErr != nil {
+		// Fail the receiver's pending Recv so the goroutine exits before
+		// we report; both ends close so neither side can block.
+		a.Close()
+		b.Close()
 	}
 	rr := <-recvc
+	if txErr != nil {
+		return nil, txErr
+	}
 	if rr.err != nil {
 		return nil, rr.err
 	}

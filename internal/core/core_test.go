@@ -229,3 +229,34 @@ func TestFileBasedMigration(t *testing.T) {
 		t.Error("corrupted state file accepted")
 	}
 }
+
+func TestDigestCachedAndStable(t *testing.T) {
+	e, err := NewEngine(countdownSrc, minic.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := e.Digest()
+	if d == 0 {
+		t.Error("zero digest")
+	}
+	if e.Digest() != d {
+		t.Error("digest changed between calls")
+	}
+	// The same source compiles to the same digest on another node (the
+	// pre-distribution invariant the session handshake relies on) ...
+	e2, err := NewEngine(countdownSrc, minic.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Digest() != d {
+		t.Error("same program, different digest")
+	}
+	// ... and a different program differs.
+	e3, err := NewEngine(`int main() { return 1; }`, minic.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Digest() == d {
+		t.Error("different program, same digest")
+	}
+}

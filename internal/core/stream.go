@@ -24,45 +24,21 @@ import (
 	"repro/internal/xdr"
 )
 
-// envStreamVersion marks a streamed (chunked) envelope; integrity is
-// enforced by the stream layer rather than a single payload checksum.
-const envStreamVersion = 2
-
-// putStreamHeader encodes the streamed envelope header.
+// putStreamHeader encodes the streamed envelope header — the shared
+// envelope header at VersionStream, with nothing after it but the state.
 func (e *Engine) putStreamHeader(enc *xdr.Encoder, src *arch.Machine) {
-	enc.PutUint32(envMagic)
-	enc.PutUint32(envStreamVersion)
-	enc.PutString(src.Name)
-	enc.PutUint32(e.digest())
+	putHeader(enc, VersionStream, src.Name, e.Digest())
 }
 
 // OpenStream verifies a reassembled streamed envelope and returns the raw
 // state and the source machine name.
 func (e *Engine) OpenStream(payload []byte) (state []byte, srcName string, err error) {
 	dec := xdr.NewDecoder(payload)
-	magic, err := dec.Uint32()
-	if err != nil || magic != envMagic {
-		return nil, "", ErrBadEnvelope
-	}
-	ver, err := dec.Uint32()
+	h, err := e.openHeader(dec, VersionStream)
 	if err != nil {
-		return nil, "", ErrBadEnvelope
+		return nil, "", err
 	}
-	if ver != envStreamVersion {
-		return nil, "", ErrVersionMismatch
-	}
-	srcName, err = dec.String()
-	if err != nil {
-		return nil, "", ErrBadEnvelope
-	}
-	digest, err := dec.Uint32()
-	if err != nil {
-		return nil, "", ErrBadEnvelope
-	}
-	if digest != e.digest() {
-		return nil, "", ErrProgramMismatch
-	}
-	return payload[dec.Offset():], srcName, nil
+	return payload[dec.Offset():], h.srcName, nil
 }
 
 // SendStream collects the state of p (stopped at its migration point) and

@@ -170,6 +170,48 @@ func (c *Conn) Recv() ([]byte, error) { return ReadFrame(c.rwc) }
 // Close implements Transport.
 func (c *Conn) Close() error { return c.rwc.Close() }
 
+// SetDeadline bounds every subsequent Send and Recv when the underlying
+// connection supports deadlines (net.Conn does); on other connections it
+// is a no-op. A zero time clears the deadline. The migration daemon uses
+// this for per-session timeouts: a peer that stalls mid-handshake or
+// mid-transfer fails its session instead of pinning a worker forever.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if d, ok := c.rwc.(interface{ SetDeadline(time.Time) error }); ok {
+		return d.SetDeadline(t)
+	}
+	return nil
+}
+
+// Listener accepts inbound framed-transport connections — the accept side
+// of Dial, used by the persistent migration daemon.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener at addr (host:port).
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address (useful with a ":0" port).
+func (l *Listener) Addr() net.Addr { return l.l.Addr() }
+
+// Accept blocks for the next inbound connection.
+func (l *Listener) Accept() (*Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Close stops accepting; a blocked Accept returns an error.
+func (l *Listener) Close() error { return l.l.Close() }
+
 // SendFile writes one framed message to a file, the shared-file-system
 // transfer mode.
 func SendFile(path string, payload []byte) error {

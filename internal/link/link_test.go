@@ -328,3 +328,82 @@ func TestLoopbackPairCleanupIdempotent(t *testing.T) {
 		t.Error("send on cleaned-up transport succeeded")
 	}
 }
+
+func TestListenerRoundTrip(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type acceptRes struct {
+		c   *Conn
+		err error
+	}
+	accepted := make(chan acceptRes, 1)
+	go func() {
+		c, err := l.Accept()
+		accepted <- acceptRes{c, err}
+	}()
+	cli, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ar := <-accepted
+	if ar.err != nil {
+		t.Fatal(ar.err)
+	}
+	defer ar.c.Close()
+	if err := cli.Send([]byte("through the listener")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ar.c.Recv()
+	if err != nil || string(got) != "through the listener" {
+		t.Fatalf("recv = %q, %v", got, err)
+	}
+	// A closed listener fails the next Accept.
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Error("accept on closed listener succeeded")
+	}
+}
+
+func TestConnDeadline(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, aerr := l.Accept()
+		if aerr != nil {
+			return
+		}
+		accepted <- c
+	}()
+	cli, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	defer srv.Close()
+	// A server-side deadline fails a Recv whose peer never sends: the
+	// per-session timeout of the migration daemon.
+	if err := srv.SetDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Recv(); err == nil {
+		t.Error("recv with expired deadline succeeded")
+	}
+	// Deadlines on a deadline-less ReadWriteCloser are a no-op.
+	if err := NewConn(nopRWC{new(bytes.Buffer)}).SetDeadline(time.Now()); err != nil {
+		t.Errorf("deadline on buffer-backed conn: %v", err)
+	}
+}
+
+// nopRWC is a ReadWriteCloser with no deadline support.
+type nopRWC struct{ *bytes.Buffer }
+
+func (nopRWC) Close() error { return nil }

@@ -23,8 +23,8 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
-	"repro/internal/link"
 	"repro/internal/minic"
+	"repro/internal/session"
 	"repro/internal/vm"
 )
 
@@ -216,26 +216,10 @@ func (c *Cluster) runLoop(h *Handle, node *Node, proc *vm.Process) {
 			return
 		}
 
-		// Remote invocation: the destination process waits for state
-		// while the source transmits it.
-		a, b := link.Pipe()
-		type recvRes struct {
-			q   *vm.Process
-			t   core.Timing
-			err error
-		}
-		recvc := make(chan recvRes, 1)
-		go func() {
-			q, rt, rerr := c.engine.ReceiveAndRestore(b, dest.Mach)
-			recvc <- recvRes{q, rt, rerr}
-		}()
-		tx, err := c.engine.Send(a, proc.Mach, res.State)
-		rr := <-recvc
-		a.Close()
-		b.Close()
-		if err == nil {
-			err = rr.err
-		}
+		// Remote invocation through the session layer: the destination
+		// process negotiates and waits for state while the source
+		// transmits it through the agreed path.
+		q, timing, err := session.Transfer(c.engine, "sched", proc, dest.Mach, session.Config{})
 		if err != nil {
 			node.adjust(-1)
 			h.finish(&Outcome{Node: node.Name, Err: err})
@@ -243,15 +227,10 @@ func (c *Cluster) runLoop(h *Handle, node *Node, proc *vm.Process) {
 		}
 
 		rec := MigrationRecord{
-			From: node.Name,
-			To:   dest.Name,
-			At:   time.Now(),
-			Timing: core.Timing{
-				Collect: proc.CaptureStats().Elapsed,
-				Tx:      tx.Tx,
-				Restore: rr.t.Restore,
-				Bytes:   tx.Bytes,
-			},
+			From:   node.Name,
+			To:     dest.Name,
+			At:     time.Now(),
+			Timing: timing,
 		}
 		h.mu.Lock()
 		h.migrations = append(h.migrations, rec)
@@ -262,7 +241,7 @@ func (c *Cluster) runLoop(h *Handle, node *Node, proc *vm.Process) {
 		dest.adjust(1)
 
 		// The source process terminates; the restored process continues.
-		proc = rr.q
+		proc = q
 		if c.Configure != nil {
 			c.Configure(proc)
 		}

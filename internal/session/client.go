@@ -1,0 +1,117 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/vm"
+)
+
+// Result describes one completed outbound migration.
+type Result struct {
+	// Params is the negotiated outcome the transfer ran under.
+	Params Params
+	// Timing covers the whole migration: collection, transmission, and
+	// (on the responder) restoration is confirmed but not timed here.
+	Timing core.Timing
+}
+
+// Initiate negotiates a migration session for the stopped process p over t
+// and transmits its state through the agreed path, blocking until the
+// responder confirms restoration. program names the pre-distributed
+// program for the responder's registry lookup (the digest decides; the
+// name is diagnostics).
+func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program string, p *vm.Process, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	o := offer{
+		minVer:  cfg.MinVersion,
+		maxVer:  cfg.MaxVersion,
+		digest:  e.Digest(),
+		program: program,
+		machine: src.Name,
+		chunk:   uint32(cfg.ChunkSize),
+		window:  uint32(cfg.Window),
+	}
+	if err := t.Send(marshalOffer(o)); err != nil {
+		return nil, fmt.Errorf("session: offer send: %w", err)
+	}
+	raw, err := t.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("session: handshake read: %w", err)
+	}
+	m, err := parseMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch m.typ {
+	case msgReject:
+		return nil, fmt.Errorf("%w: %s", ErrRejected, m.reason)
+	case msgAccept:
+	default:
+		return nil, fmt.Errorf("%w: expected ACCEPT or REJECT, got message type %d", ErrProtocol, m.typ)
+	}
+	prm := m.params
+	path, err := pathFor(prm.Version)
+	if err != nil {
+		return nil, err
+	}
+	timing, err := path.Send(t, e, src, p, prm)
+	if err != nil {
+		return nil, err
+	}
+	timing.Collect = p.CaptureStats().Elapsed
+	// Only terminate the source once the destination holds a restored,
+	// runnable process.
+	raw, err = t.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("session: restoration confirm read: %w", err)
+	}
+	m, err = parseMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if m.typ != msgRestored {
+		return nil, fmt.Errorf("%w: expected RESTORED, got message type %d", ErrProtocol, m.typ)
+	}
+	return &Result{Params: prm, Timing: timing}, nil
+}
+
+// Transfer migrates the stopped process p from its machine to dst over an
+// in-memory pipe, running the full negotiated protocol end to end — the
+// single-call workflow used by the in-process scheduler. It returns the
+// restored process and the merged timing of all three phases.
+func Transfer(e *core.Engine, program string, p *vm.Process, dst *arch.Machine, cfg Config) (*vm.Process, core.Timing, error) {
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add(program, e)
+	type respondRes struct {
+		q   *vm.Process
+		t   core.Timing
+		err error
+	}
+	c := make(chan respondRes, 1)
+	go func() {
+		_, q, tim, err := Respond(b, reg, dst, cfg)
+		c <- respondRes{q, tim, err}
+	}()
+	res, err := Initiate(a, e, p.Mach, program, p, cfg)
+	if err != nil {
+		// Fail the responder's pending Recv so the goroutine joins.
+		a.Close()
+		b.Close()
+	}
+	rr := <-c
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	if rr.err != nil {
+		return nil, core.Timing{}, rr.err
+	}
+	timing := res.Timing
+	timing.Restore = rr.t.Restore
+	return rr.q, timing, nil
+}

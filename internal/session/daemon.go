@@ -1,0 +1,227 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Registry holds the pre-distributed programs a daemon serves, keyed by
+// program digest — the paper's "transformed source compiled on every
+// potential destination machine", generalized to many programs behind one
+// daemon. Safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	byDigest map[uint32]registered
+}
+
+type registered struct {
+	engine *core.Engine
+	name   string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byDigest: map[uint32]registered{}}
+}
+
+// Add registers an engine under a diagnostic name. A later Add with the
+// same program digest replaces the earlier entry.
+func (r *Registry) Add(name string, e *core.Engine) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byDigest[e.Digest()] = registered{engine: e, name: name}
+}
+
+// Lookup resolves a program digest to its engine and name.
+func (r *Registry) Lookup(digest uint32) (*core.Engine, string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	reg, ok := r.byDigest[digest]
+	return reg.engine, reg.name, ok
+}
+
+// Len reports the number of registered programs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byDigest)
+}
+
+// Info identifies one inbound session in diagnostics and callbacks.
+type Info struct {
+	// ID is the daemon-assigned session number (0 for Respond outside a
+	// daemon).
+	ID uint64
+	// Program is the registry name of the matched program.
+	Program string
+	// SrcMachine is the machine name the initiator declared.
+	SrcMachine string
+	// Params is the negotiated outcome.
+	Params Params
+}
+
+// Respond serves exactly one inbound migration session on t: it reads the
+// offer, negotiates against cfg and the registry, receives the state
+// through the selected path, restores the process on machine m, and
+// confirms with RESTORED. A negotiation failure is reported to the peer
+// (REJECT) and returned.
+func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info, *vm.Process, core.Timing, error) {
+	raw, err := t.Recv()
+	if err != nil {
+		return Info{}, nil, core.Timing{}, fmt.Errorf("session: handshake read: %w", err)
+	}
+	msg, err := parseMessage(raw)
+	if err != nil {
+		return Info{}, nil, core.Timing{}, err
+	}
+	if msg.typ != msgOffer {
+		return Info{}, nil, core.Timing{}, fmt.Errorf("%w: expected OFFER, got message type %d", ErrProtocol, msg.typ)
+	}
+	o := msg.offer
+	engine, name, ok := reg.Lookup(o.digest)
+	if !ok {
+		err := fmt.Errorf("%w: digest %08x (program %q) not pre-distributed here", ErrUnknownProgram, o.digest, o.program)
+		t.Send(marshalReject(err.Error()))
+		return Info{}, nil, core.Timing{}, err
+	}
+	prm, err := negotiate(o, cfg)
+	if err != nil {
+		t.Send(marshalReject(err.Error()))
+		return Info{}, nil, core.Timing{}, err
+	}
+	info := Info{Program: name, SrcMachine: o.machine, Params: prm}
+	if err := t.Send(marshalAccept(prm)); err != nil {
+		return info, nil, core.Timing{}, fmt.Errorf("session: accept send: %w", err)
+	}
+	path, err := pathFor(prm.Version)
+	if err != nil {
+		return info, nil, core.Timing{}, err
+	}
+	p, timing, err := path.Receive(t, engine, m, prm)
+	if err != nil {
+		return info, nil, core.Timing{}, err
+	}
+	if err := t.Send(marshalRestored(uint64(timing.Bytes))); err != nil {
+		return info, nil, core.Timing{}, fmt.Errorf("session: restored send: %w", err)
+	}
+	return info, p, timing, nil
+}
+
+// Daemon is the persistent, concurrent migration daemon: an accept loop
+// feeding a bounded worker pool, a program registry, per-session IDs and
+// timeouts, and graceful drain. Configure the exported fields before
+// calling Serve; they must not change afterwards.
+type Daemon struct {
+	// Registry holds the programs this daemon can restore.
+	Registry *Registry
+	// Mach is the machine restored processes run on.
+	Mach *arch.Machine
+	// Config is the daemon's negotiation posture (version range and
+	// stream-parameter caps).
+	Config Config
+	// MaxConcurrent bounds the worker pool; excess accepted connections
+	// wait for a free worker. Zero or negative selects 4.
+	MaxConcurrent int
+	// Timeout bounds each session's total wall time (handshake through
+	// restoration) when the transport supports deadlines. Zero disables.
+	Timeout time.Duration
+	// Logf receives per-session diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+	// OnRestored is invoked — concurrently, from the session's worker —
+	// with every successfully restored process. Typically it runs the
+	// process to completion. Nil leaves the process to the counters only.
+	OnRestored func(Info, *vm.Process, core.Timing)
+
+	counters stats.SessionCounters
+	nextID   atomic.Uint64
+	closing  atomic.Bool
+	listener atomic.Pointer[link.Listener]
+	wg       sync.WaitGroup
+}
+
+// Counters exposes the daemon's lifecycle counters.
+func (d *Daemon) Counters() *stats.SessionCounters { return &d.counters }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// Shutdown begins a graceful drain: the accept loop stops, in-flight
+// sessions run to completion, and Serve returns once the pool is idle.
+// Safe to call from a signal handler goroutine, and more than once.
+func (d *Daemon) Shutdown() {
+	if d.closing.CompareAndSwap(false, true) {
+		if l := d.listener.Load(); l != nil {
+			l.Close()
+		}
+	}
+}
+
+// Serve accepts migration sessions on l until Shutdown (returning nil once
+// drained) or until Accept fails for another reason (returning that
+// error). Each session runs on its own worker: handshake, negotiated
+// transfer, restoration, and the OnRestored callback, bounded by
+// MaxConcurrent in flight at once.
+func (d *Daemon) Serve(l *link.Listener) error {
+	d.listener.Store(l)
+	if d.closing.Load() {
+		// Shutdown raced Serve: close the freshly stored listener too.
+		l.Close()
+	}
+	maxc := d.MaxConcurrent
+	if maxc <= 0 {
+		maxc = 4
+	}
+	sem := make(chan struct{}, maxc)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			d.wg.Wait()
+			if d.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		d.counters.Accepted()
+		sem <- struct{}{}
+		d.wg.Add(1)
+		go func() {
+			defer func() { <-sem; d.wg.Done() }()
+			d.handle(conn)
+		}()
+	}
+}
+
+// handle runs one session to completion on a worker.
+func (d *Daemon) handle(conn *link.Conn) {
+	id := d.nextID.Add(1)
+	defer conn.Close()
+	if d.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(d.Timeout))
+	}
+	start := time.Now()
+	info, p, timing, err := Respond(conn, d.Registry, d.Mach, d.Config)
+	info.ID = id
+	if err != nil {
+		d.counters.Failed()
+		d.logf("session %d: failed: %v", id, err)
+		return
+	}
+	d.counters.Restored(timing.Bytes)
+	d.logf("session %d: restored %q from %s (v%d, chunk %d, window %d): %d bytes in %.4fs",
+		id, info.Program, info.SrcMachine, info.Params.Version, info.Params.ChunkSize,
+		info.Params.Window, timing.Bytes, time.Since(start).Seconds())
+	if d.OnRestored != nil {
+		d.OnRestored(info, p, timing)
+	}
+}

@@ -1,0 +1,69 @@
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/stream"
+	"repro/internal/vm"
+)
+
+// Path is one transfer strategy behind a negotiated session: how a stopped
+// process's state crosses an established transport. The negotiated version
+// selects the implementation; the rest of the session layer — and both
+// migd modes — are path-agnostic.
+type Path interface {
+	// Send collects the state of p (stopped at its migration point) and
+	// transmits it over t under the negotiated parameters.
+	Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error)
+	// Receive accepts an inbound state from t and restores the process on
+	// machine m.
+	Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error)
+}
+
+// pathFor maps a negotiated version to its Path.
+func pathFor(version uint32) (Path, error) {
+	switch version {
+	case core.VersionMono:
+		return monoPath{}, nil
+	case core.VersionStream:
+		return streamPath{}, nil
+	}
+	return nil, fmt.Errorf("%w: no transfer path for version %d", ErrProtocol, version)
+}
+
+// monoPath is the paper's stop-and-copy transfer: collect everything, seal
+// one envelope, one blocking send.
+type monoPath struct{}
+
+func (monoPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, _ Params) (core.Timing, error) {
+	state, err := p.Recapture()
+	if err != nil {
+		return core.Timing{}, err
+	}
+	return e.Send(t, src, state)
+}
+
+func (monoPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, _ Params) (*vm.Process, core.Timing, error) {
+	return e.ReceiveAndRestore(t, m)
+}
+
+// streamPath is the pipelined transfer: the snapshot flows through the
+// internal/stream chunk layer while collection is still producing it.
+type streamPath struct{}
+
+func (streamPath) config(prm Params) stream.Config {
+	return stream.Config{ChunkSize: prm.ChunkSize, Window: prm.Window}
+}
+
+func (sp streamPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	w := stream.NewWriter(t, sp.config(prm))
+	return e.SendStream(w, src, p, prm.ChunkSize)
+}
+
+func (sp streamPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
+	r := stream.NewReader(t, sp.config(prm))
+	return e.ReceiveAndRestoreStream(r, m)
+}

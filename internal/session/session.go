@@ -1,0 +1,260 @@
+// Package session is the migration-session layer of the stack: it sits
+// between the migration engine (internal/core) and the transport
+// (internal/link) and owns everything two peers must agree on before a
+// process state crosses the wire.
+//
+// The paper's protocol assumes one migration at a time between two
+// pre-arranged peers whose operators configured both ends identically.
+// This layer replaces that arrangement with a negotiated handshake:
+//
+//  1. the initiator (the migrating process's node) sends an OFFER — magic,
+//     the envelope-version range it speaks, its program digest and name,
+//     its machine, and its streamed-path chunk/window proposals;
+//  2. the responder (the daemon) looks the digest up in its program
+//     registry, intersects the version ranges, takes the more conservative
+//     stream parameters, and replies ACCEPT (version, chunk, window) — or
+//     REJECT with a human-readable reason;
+//  3. the agreed version selects a Path — the monolithic sealed envelope
+//     (version 1) or the pipelined chunk stream (version 2) — and the
+//     state flows through it;
+//  4. the responder restores the process and confirms with RESTORED, at
+//     which point the source process may terminate (the paper's
+//     source-terminates-after-transmission rule, moved after restoration
+//     so a failed restore leaves the source alive).
+//
+// Chunk size and window are negotiated, not operator-matched: each side
+// proposes, both use the minimum. A v1-only initiator talks to a
+// v2-capable daemon without either side being configured for the other.
+//
+// # Wire format
+//
+// Every message is one link.Transport frame, XDR-encoded, magic "MSES":
+//
+//	offer    = magic, OFFER, minVer u32, maxVer u32, digest u32,
+//	           program string, machine string, chunk u32, window u32
+//	accept   = magic, ACCEPT, version u32, chunk u32, window u32
+//	reject   = magic, REJECT, reason string
+//	restored = magic, RESTORED, bytes u64
+//
+// Between ACCEPT and RESTORED the transport belongs to the selected Path:
+// one sealed envelope frame for version 1, the internal/stream protocol
+// for version 2.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/xdr"
+)
+
+// sessionMagic guards every session-layer message ("MSES").
+const sessionMagic = 0x4d534553
+
+// Message types.
+const (
+	msgOffer uint32 = iota + 1
+	msgAccept
+	msgReject
+	msgRestored
+)
+
+// Errors reported by the session layer.
+var (
+	// ErrRejected is returned by Initiate when the responder refused the
+	// offer; the wrapped message carries the responder's reason.
+	ErrRejected = errors.New("session: migration rejected")
+	// ErrProtocol is returned when a peer sends a message that violates
+	// the session protocol.
+	ErrProtocol = errors.New("session: protocol violation")
+	// ErrNoVersion is the negotiation failure: the peers' version ranges
+	// do not intersect.
+	ErrNoVersion = errors.New("session: no common protocol version")
+	// ErrUnknownProgram is the negotiation failure for a digest the
+	// responder's registry does not hold.
+	ErrUnknownProgram = errors.New("session: program not in registry")
+)
+
+// Config is one side's negotiation posture.
+type Config struct {
+	// MinVersion and MaxVersion bound the envelope versions this side
+	// speaks. Zero values default to [core.VersionMono, core.VersionStream]
+	// — both paths.
+	MinVersion uint32
+	MaxVersion uint32
+	// ChunkSize and Window are this side's streamed-path proposals and
+	// caps, in the units of stream.Config; the negotiated values are the
+	// minimum of both sides'. Zero selects the stream-layer defaults.
+	ChunkSize int
+	Window    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinVersion == 0 {
+		c.MinVersion = core.VersionMono
+	}
+	if c.MaxVersion == 0 {
+		c.MaxVersion = core.VersionStream
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 256 << 10
+	}
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	return c
+}
+
+// Params is the negotiated outcome both sides commit to before transfer.
+type Params struct {
+	// Version is the agreed envelope version (selects the Path).
+	Version uint32
+	// ChunkSize and Window shape the streamed path; both sides hold the
+	// same values, so no operator flag-matching is needed.
+	ChunkSize int
+	Window    int
+}
+
+// offer is the decoded OFFER message.
+type offer struct {
+	minVer, maxVer uint32
+	digest         uint32
+	program        string
+	machine        string
+	chunk, window  uint32
+}
+
+// negotiate intersects an initiator's offer with the responder's posture:
+// the highest version both speak, the smaller chunk size, the smaller
+// window.
+func negotiate(o offer, srv Config) (Params, error) {
+	srv = srv.withDefaults()
+	version := o.maxVer
+	if srv.MaxVersion < version {
+		version = srv.MaxVersion
+	}
+	if version < o.minVer || version < srv.MinVersion {
+		return Params{}, fmt.Errorf("%w: initiator speaks %d..%d, responder %d..%d",
+			ErrNoVersion, o.minVer, o.maxVer, srv.MinVersion, srv.MaxVersion)
+	}
+	p := Params{Version: version, ChunkSize: srv.ChunkSize, Window: srv.Window}
+	if c := int(o.chunk); c > 0 && c < p.ChunkSize {
+		p.ChunkSize = c
+	}
+	if w := int(o.window); w > 0 && w < p.Window {
+		p.Window = w
+	}
+	return p, nil
+}
+
+// message is a decoded session-layer message.
+type message struct {
+	typ    uint32
+	offer  offer  // OFFER
+	params Params // ACCEPT
+	reason string // REJECT
+	bytes  uint64 // RESTORED
+}
+
+func marshalOffer(o offer) []byte {
+	e := xdr.NewEncoder(64 + len(o.program) + len(o.machine))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgOffer)
+	e.PutUint32(o.minVer)
+	e.PutUint32(o.maxVer)
+	e.PutUint32(o.digest)
+	e.PutString(o.program)
+	e.PutString(o.machine)
+	e.PutUint32(o.chunk)
+	e.PutUint32(o.window)
+	return e.Bytes()
+}
+
+func marshalAccept(p Params) []byte {
+	e := xdr.NewEncoder(20)
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgAccept)
+	e.PutUint32(p.Version)
+	e.PutUint32(uint32(p.ChunkSize))
+	e.PutUint32(uint32(p.Window))
+	return e.Bytes()
+}
+
+func marshalReject(reason string) []byte {
+	e := xdr.NewEncoder(12 + len(reason))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgReject)
+	e.PutString(reason)
+	return e.Bytes()
+}
+
+func marshalRestored(bytes uint64) []byte {
+	e := xdr.NewEncoder(16)
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgRestored)
+	e.PutUint64(bytes)
+	return e.Bytes()
+}
+
+// parseMessage decodes one session-layer message.
+func parseMessage(raw []byte) (message, error) {
+	d := xdr.NewDecoder(raw)
+	magic, err := d.Uint32()
+	if err != nil || magic != sessionMagic {
+		return message{}, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return message{}, fmt.Errorf("%w: missing type", ErrProtocol)
+	}
+	m := message{typ: typ}
+	switch typ {
+	case msgOffer:
+		err = parseOffer(d, &m.offer)
+	case msgAccept:
+		var ver, chunk, window uint32
+		if ver, err = d.Uint32(); err != nil {
+			break
+		}
+		if chunk, err = d.Uint32(); err != nil {
+			break
+		}
+		window, err = d.Uint32()
+		m.params = Params{Version: ver, ChunkSize: int(chunk), Window: int(window)}
+	case msgReject:
+		m.reason, err = d.String()
+	case msgRestored:
+		m.bytes, err = d.Uint64()
+	default:
+		return message{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, typ)
+	}
+	if err != nil {
+		return message{}, fmt.Errorf("%w: truncated %d message", ErrProtocol, typ)
+	}
+	return m, nil
+}
+
+func parseOffer(d *xdr.Decoder, o *offer) error {
+	var err error
+	if o.minVer, err = d.Uint32(); err != nil {
+		return err
+	}
+	if o.maxVer, err = d.Uint32(); err != nil {
+		return err
+	}
+	if o.digest, err = d.Uint32(); err != nil {
+		return err
+	}
+	if o.program, err = d.String(); err != nil {
+		return err
+	}
+	if o.machine, err = d.String(); err != nil {
+		return err
+	}
+	if o.chunk, err = d.Uint32(); err != nil {
+		return err
+	}
+	o.window, err = d.Uint32()
+	return err
+}

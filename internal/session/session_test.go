@@ -1,0 +1,466 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/vm"
+)
+
+// listSrc builds a 60-node heap list and only then reaches its single
+// migration point, so the captured state spans several small chunks.
+// 60*61/2 = 1830; 1830 % 128 = 38.
+const listSrc = `
+	struct node { float data; struct node *link; };
+	struct node *head;
+	int main() {
+		int i, sum;
+		struct node *c;
+		head = 0;
+		for (i = 1; i <= 60; i++) {
+			c = (struct node *) malloc(sizeof(struct node));
+			c->data = i;
+			c->link = head;
+			head = c;
+		}
+		migrate_here();
+		sum = 0;
+		c = head;
+		while (c) {
+			sum += (int)c->data;
+			c = c->link;
+		}
+		return sum % 128;
+	}
+`
+
+const listExit = 38
+
+func newListEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(listSrc, minic.PollPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// stoppedAt runs the program on m until its migration point and returns
+// the stopped process.
+func stoppedAt(t *testing.T, e *core.Engine, m *arch.Machine) *vm.Process {
+	t.Helper()
+	p, err := e.NewProcess(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxSteps = 1_000_000
+	var req core.Request
+	req.Raise()
+	p.PollHook = req.Hook()
+	res, err := p.Run()
+	if err != nil || !res.Migrated {
+		t.Fatalf("setup: migrated=%v err=%v", res != nil && res.Migrated, err)
+	}
+	return p
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		name    string
+		offer   offer
+		srv     Config
+		want    Params
+		wantErr error
+	}{
+		{
+			name:  "both full range picks streamed",
+			offer: offer{minVer: 1, maxVer: 2, chunk: 1 << 20, window: 32},
+			srv:   Config{},
+			want:  Params{Version: core.VersionStream, ChunkSize: 256 << 10, Window: 16},
+		},
+		{
+			name:  "v1-only initiator",
+			offer: offer{minVer: 1, maxVer: 1, chunk: 4096, window: 4},
+			srv:   Config{},
+			want:  Params{Version: core.VersionMono, ChunkSize: 4096, Window: 4},
+		},
+		{
+			name:  "v1-only responder",
+			offer: offer{minVer: 1, maxVer: 2, chunk: 4096, window: 4},
+			srv:   Config{MinVersion: core.VersionMono, MaxVersion: core.VersionMono},
+			want:  Params{Version: core.VersionMono, ChunkSize: 4096, Window: 4},
+		},
+		{
+			name:  "initiator proposal caps chunk and window",
+			offer: offer{minVer: 1, maxVer: 2, chunk: 8192, window: 2},
+			srv:   Config{ChunkSize: 64 << 10, Window: 8},
+			want:  Params{Version: core.VersionStream, ChunkSize: 8192, Window: 2},
+		},
+		{
+			name:  "responder cap wins when smaller",
+			offer: offer{minVer: 1, maxVer: 2, chunk: 1 << 20, window: 64},
+			srv:   Config{ChunkSize: 32 << 10, Window: 4},
+			want:  Params{Version: core.VersionStream, ChunkSize: 32 << 10, Window: 4},
+		},
+		{
+			name:    "future-only initiator has no common version",
+			offer:   offer{minVer: 3, maxVer: 5},
+			srv:     Config{},
+			wantErr: ErrNoVersion,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := negotiate(c.offer, c.srv)
+			if c.wantErr != nil {
+				if !errors.Is(err, c.wantErr) {
+					t.Fatalf("err = %v, want %v", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("params = %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// runTransfer exercises the full pipe-based protocol under cfg and checks
+// the restored process completes correctly.
+func runTransfer(t *testing.T, cfg Config) core.Timing {
+	t.Helper()
+	e := newListEngine(t)
+	p := stoppedAt(t, e, arch.DEC5000)
+	q, timing, err := Transfer(e, "list", p, arch.SPARC20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Mach != arch.SPARC20 {
+		t.Error("restored process not on destination machine")
+	}
+	q.MaxSteps = 1_000_000
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != listExit {
+		t.Errorf("exit = %d, want %d", res.ExitCode, listExit)
+	}
+	if timing.Bytes == 0 {
+		t.Error("no bytes recorded")
+	}
+	return timing
+}
+
+func TestTransferStreamedDefault(t *testing.T) {
+	runTransfer(t, Config{ChunkSize: 256, Window: 4})
+}
+
+func TestTransferMonolithic(t *testing.T) {
+	runTransfer(t, Config{MaxVersion: core.VersionMono})
+}
+
+func TestInitiateReportsNegotiatedParams(t *testing.T) {
+	e := newListEngine(t)
+	p := stoppedAt(t, e, arch.DEC5000)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("list", e)
+	go func() {
+		// Daemon side caps the chunk size below the initiator's proposal.
+		Respond(b, reg, arch.SPARC20, Config{ChunkSize: 512, Window: 8})
+	}()
+	res, err := Initiate(a, e, p.Mach, "list", p, Config{ChunkSize: 4096, Window: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Params{Version: core.VersionStream, ChunkSize: 512, Window: 4}
+	if res.Params != want {
+		t.Errorf("params = %+v, want %+v", res.Params, want)
+	}
+}
+
+func TestRespondRejectsUnknownDigest(t *testing.T) {
+	e := newListEngine(t)
+	other, err := core.NewEngine(`int main() { return 7; }`, minic.DefaultPolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := stoppedAt(t, e, arch.DEC5000)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("other", other) // the migrating program is NOT registered
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, rerr := Respond(b, reg, arch.SPARC20, Config{})
+		errc <- rerr
+	}()
+	_, err = Initiate(a, e, p.Mach, "list", p, Config{})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("initiator err = %v, want ErrRejected", err)
+	}
+	if !strings.Contains(err.Error(), "not pre-distributed") {
+		t.Errorf("rejection reason not forwarded: %v", err)
+	}
+	if rerr := <-errc; !errors.Is(rerr, ErrUnknownProgram) {
+		t.Errorf("responder err = %v, want ErrUnknownProgram", rerr)
+	}
+}
+
+func TestRespondRejectsNoCommonVersion(t *testing.T) {
+	e := newListEngine(t)
+	p := stoppedAt(t, e, arch.DEC5000)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("list", e)
+	go Respond(b, reg, arch.SPARC20, Config{})
+	// An initiator from the future: speaks only versions we do not.
+	_, err := Initiate(a, e, p.Mach, "list", p, Config{MinVersion: 3, MaxVersion: 5})
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if !strings.Contains(err.Error(), "no common protocol version") {
+		t.Errorf("reason = %v", err)
+	}
+}
+
+// daemonFixture starts a Daemon on a loopback listener and returns it with
+// its address and a channel that yields Serve's return value.
+func daemonFixture(t *testing.T, d *Daemon) (addr string, served chan error) {
+	t.Helper()
+	l, err := link.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served = make(chan error, 1)
+	go func() { served <- d.Serve(l) }()
+	return l.Addr().String(), served
+}
+
+// migrateTo runs one full client migration against a daemon address.
+func migrateTo(t *testing.T, addr string, e *core.Engine, cfg Config) (*Result, error) {
+	t.Helper()
+	p := stoppedAt(t, e, arch.DEC5000)
+	conn, err := link.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	return Initiate(conn, e, p.Mach, "list", p, cfg)
+}
+
+func TestDaemonConcurrentMixedVersions(t *testing.T) {
+	// The acceptance scenario: one persistent daemon completes at least 4
+	// concurrent migrations from a mix of v1-only and v2 clients, with no
+	// operator-matched stream flags anywhere. OnRestored holds the first
+	// 4 sessions at a barrier, so the test deadlocks (and times out)
+	// unless 4 workers are truly in flight at once.
+	const clients = 6
+	const barrier = 4
+	e := newListEngine(t)
+	reg := NewRegistry()
+	reg.Add("list", e)
+
+	var mu sync.Mutex
+	arrived := 0
+	release := make(chan struct{})
+	exits := make(chan int, clients)
+	d := &Daemon{
+		Registry:      reg,
+		Mach:          arch.SPARC20,
+		MaxConcurrent: clients,
+		Timeout:       time.Minute,
+		OnRestored: func(info Info, p *vm.Process, _ core.Timing) {
+			mu.Lock()
+			arrived++
+			if arrived == barrier {
+				close(release)
+			}
+			mu.Unlock()
+			select {
+			case <-release:
+			case <-time.After(30 * time.Second):
+				t.Error("barrier never filled: sessions are not concurrent")
+			}
+			p.MaxSteps = 1_000_000
+			res, err := p.Run()
+			if err != nil {
+				t.Errorf("session %d run: %v", info.ID, err)
+				exits <- -1
+				return
+			}
+			exits <- res.ExitCode
+		},
+	}
+	addr, served := daemonFixture(t, d)
+
+	var wg sync.WaitGroup
+	versions := make(chan uint32, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{ChunkSize: 512, Window: 4}
+			if i%2 == 0 {
+				cfg.MaxVersion = core.VersionMono // a v1-only client
+			}
+			res, err := migrateTo(t, addr, e, cfg)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			versions <- res.Params.Version
+		}(i)
+	}
+	wg.Wait()
+	close(versions)
+	monos, streams := 0, 0
+	for v := range versions {
+		switch v {
+		case core.VersionMono:
+			monos++
+		case core.VersionStream:
+			streams++
+		}
+	}
+	if monos != clients/2 || streams != clients/2 {
+		t.Errorf("negotiated versions: %d mono, %d streamed; want %d each", monos, streams, clients/2)
+	}
+	for i := 0; i < clients; i++ {
+		if code := <-exits; code != listExit {
+			t.Errorf("restored process %d exit = %d, want %d", i, code, listExit)
+		}
+	}
+
+	d.Shutdown()
+	if err := <-served; err != nil {
+		t.Fatalf("serve after drain: %v", err)
+	}
+	s := d.Counters().Snapshot()
+	if s.Accepted != clients || s.Restored != clients || s.Failed != 0 {
+		t.Errorf("counters = %v", s)
+	}
+	if s.Bytes == 0 {
+		t.Error("no payload bytes counted")
+	}
+}
+
+func TestDaemonSurvivesCutHandshake(t *testing.T) {
+	// A client that connects and dies mid-handshake must fail its own
+	// session only: the daemon logs, closes, and keeps serving.
+	e := newListEngine(t)
+	reg := NewRegistry()
+	reg.Add("list", e)
+	var mu sync.Mutex
+	var logs []string
+	restored := make(chan struct{}, 1)
+	d := &Daemon{
+		Registry:      reg,
+		Mach:          arch.SPARC20,
+		MaxConcurrent: 2,
+		Timeout:       30 * time.Second,
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+		OnRestored: func(Info, *vm.Process, core.Timing) { restored <- struct{}{} },
+	}
+	addr, served := daemonFixture(t, d)
+
+	// Cut mid-read: a frame header promising 100 bytes, then nothing.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte{0, 0, 0, 100, 1, 2, 3, 4})
+	raw.Close()
+
+	// The daemon must still complete a real migration afterwards.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := migrateTo(t, addr, e, Config{ChunkSize: 512}); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon did not recover: %v", err)
+		}
+	}
+	<-restored
+
+	d.Shutdown()
+	if err := <-served; err != nil {
+		t.Fatalf("serve after drain: %v", err)
+	}
+	s := d.Counters().Snapshot()
+	if s.Failed < 1 {
+		t.Errorf("cut handshake not counted as failure: %v", s)
+	}
+	if s.Restored < 1 {
+		t.Errorf("daemon stopped restoring after cut handshake: %v", s)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "failed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failure logged; logs = %q", logs)
+	}
+}
+
+func TestDaemonSessionTimeout(t *testing.T) {
+	// A peer that stalls after connecting must not pin a worker forever.
+	e := newListEngine(t)
+	reg := NewRegistry()
+	reg.Add("list", e)
+	d := &Daemon{
+		Registry:      reg,
+		Mach:          arch.SPARC20,
+		MaxConcurrent: 1,
+		Timeout:       50 * time.Millisecond,
+	}
+	addr, served := daemonFixture(t, d)
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Send nothing; the per-session deadline must fail the handshake and,
+	// with MaxConcurrent=1, free the only worker for the next session.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := migrateTo(t, addr, e, Config{ChunkSize: 512}); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("stalled session pinned the worker: %v", err)
+		}
+	}
+	d.Shutdown()
+	if err := <-served; err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Counters().Snapshot(); s.Failed < 1 {
+		t.Errorf("stalled session not counted as failure: %v", s)
+	}
+}

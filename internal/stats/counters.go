@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// SessionCounters aggregates the lifecycle counters of a migration daemon:
+// sessions accepted off the wire, processes successfully restored, failed
+// sessions, and payload bytes restored. All methods are safe for concurrent
+// use by the daemon's worker pool.
+type SessionCounters struct {
+	accepted atomic.Int64
+	restored atomic.Int64
+	failed   atomic.Int64
+	bytes    atomic.Int64
+}
+
+// Accepted records one accepted connection.
+func (c *SessionCounters) Accepted() { c.accepted.Add(1) }
+
+// Restored records one successful restoration of n payload bytes.
+func (c *SessionCounters) Restored(n int) {
+	c.restored.Add(1)
+	c.bytes.Add(int64(n))
+}
+
+// Failed records one session that ended in an error (handshake, transfer,
+// or restoration).
+func (c *SessionCounters) Failed() { c.failed.Add(1) }
+
+// SessionSnapshot is a point-in-time copy of the counters.
+type SessionSnapshot struct {
+	Accepted int64
+	Restored int64
+	Failed   int64
+	Bytes    int64
+}
+
+// Snapshot returns the current counter values. Each counter is read
+// atomically; a snapshot taken while sessions are in flight may be mid-way
+// through one session's transitions.
+func (c *SessionCounters) Snapshot() SessionSnapshot {
+	return SessionSnapshot{
+		Accepted: c.accepted.Load(),
+		Restored: c.restored.Load(),
+		Failed:   c.failed.Load(),
+		Bytes:    c.bytes.Load(),
+	}
+}
+
+// String renders the snapshot for daemon diagnostics.
+func (s SessionSnapshot) String() string {
+	return fmt.Sprintf("accepted=%d restored=%d failed=%d bytes=%d",
+		s.Accepted, s.Restored, s.Failed, s.Bytes)
+}

@@ -1,0 +1,42 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSessionCountersConcurrent(t *testing.T) {
+	var c SessionCounters
+	const workers = 8
+	const per = 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Accepted()
+				if i%4 == 0 {
+					c.Failed()
+				} else {
+					c.Restored(10)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Accepted != workers*per {
+		t.Errorf("accepted = %d, want %d", s.Accepted, workers*per)
+	}
+	if s.Failed != workers*per/4 {
+		t.Errorf("failed = %d, want %d", s.Failed, workers*per/4)
+	}
+	if s.Restored != workers*per*3/4 || s.Bytes != s.Restored*10 {
+		t.Errorf("restored = %d bytes = %d", s.Restored, s.Bytes)
+	}
+	if !strings.Contains(s.String(), "restored=") {
+		t.Errorf("snapshot string = %q", s.String())
+	}
+}
