@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead] [-quick] [-repeats N]
+//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead] [-quick] [-repeats N] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,15 +19,30 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
+	jsonOut := flag.Bool("json", false, "also write each experiment's rows as BENCH_<exp>.json")
 	flag.Parse()
 
 	cfg := exper.Config{Quick: *quick, Repeats: *repeats}
 	run := func(name string) bool { return *expName == "all" || *expName == name }
 	failed := false
+	writeJSON := func(exp string, rows any) {
+		if !*jsonOut {
+			return
+		}
+		name := fmt.Sprintf("BENCH_%s.json", exp)
+		b, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(name, append(b, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n\n", name)
+	}
 
 	if run("hetero") {
 		rows, err := exper.Heterogeneity(cfg)
@@ -34,6 +50,7 @@ func main() {
 			fail(err)
 		}
 		exper.PrintHeterogeneity(os.Stdout, rows)
+		writeJSON("hetero", rows)
 		for _, r := range rows {
 			if !r.OK {
 				failed = true
@@ -46,6 +63,7 @@ func main() {
 			fail(err)
 		}
 		exper.PrintTable1(os.Stdout, rows)
+		writeJSON("table1", rows)
 	}
 	if run("fig2a") {
 		res, err := exper.Fig2aLinpack(cfg)
@@ -53,6 +71,7 @@ func main() {
 			fail(err)
 		}
 		writeTSV(*tsvDir, "fig2a.tsv", res)
+		writeJSON("fig2a", res)
 		exper.PrintScaling(os.Stdout,
 			"E3 (Figure 2a): linpack data collection and restoration vs data size, Ultra 5",
 			res)
@@ -69,6 +88,7 @@ func main() {
 			fail(err)
 		}
 		writeTSV(*tsvDir, "fig2b.tsv", res)
+		writeJSON("fig2b", res)
 		exper.PrintScaling(os.Stdout,
 			"E4 (Figure 2b): bitonic data collection and restoration vs numbers sorted, Ultra 5",
 			res)
@@ -84,6 +104,7 @@ func main() {
 			fail(err)
 		}
 		exper.PrintBreakdown(os.Stdout, rows)
+		writeJSON("complexity", rows)
 	}
 	if run("chain") {
 		r, err := exper.Chain(cfg)
@@ -91,6 +112,7 @@ func main() {
 			fail(err)
 		}
 		exper.PrintChain(os.Stdout, r)
+		writeJSON("chain", r)
 		if !r.OK {
 			failed = true
 		}
@@ -114,6 +136,7 @@ func main() {
 		}
 		exper.PrintAblation(os.Stdout,
 			"D2 analysis: stream composition under (header, offset) pointer encoding (bitonic)", rows)
+		writeJSON("ablations", rows)
 	}
 	if run("stream") {
 		rows, err := exper.PipelinedModel(cfg)
@@ -126,6 +149,7 @@ func main() {
 			fail(err)
 		}
 		exper.PrintPipelinedWire(os.Stdout, wrows)
+		writeJSON("stream", map[string]any{"model": rows, "wire": wrows})
 		for _, r := range wrows {
 			if !r.Identical || r.ExitCode != 0 {
 				failed = true
@@ -145,6 +169,30 @@ func main() {
 		}
 		exper.PrintOverhead(os.Stdout,
 			"E6b (Section 4.3): memory allocation overhead (many small blocks vs pooled)", rows2)
+		writeJSON("overhead", map[string]any{"poll": rows, "alloc": rows2})
+	}
+	if run("section") {
+		rows, err := exper.SectionParallel(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintSectionParallel(os.Stdout, rows)
+		for _, r := range rows {
+			if !r.Identical {
+				failed = true
+			}
+		}
+		wrows, err := exper.SectionWire(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintSectionWire(os.Stdout, wrows)
+		writeJSON("section", map[string]any{"parallel": rows, "wire": wrows})
+		for _, r := range wrows {
+			if !r.Identical || r.ExitCode != 0 {
+				failed = true
+			}
+		}
 	}
 
 	if failed {

@@ -23,9 +23,9 @@
 // the client offers the protocol versions it speaks plus chunk/window
 // proposals for the pipelined path, and the daemon picks the highest
 // common version and the more conservative parameters. Nothing has to be
-// flag-matched across operators: a -no-stream (monolithic, v1) client and
-// a streaming (v2) client can migrate into the same daemon back to back
-// or at the same time. -retry and -retry-timeout let the source wait for
+// flag-matched across operators: a -no-stream (monolithic, v1) client, a
+// streaming (v2) client, and a sectioned (v3, the default) client can
+// migrate into the same daemon back to back or at the same time. -retry and -retry-timeout let the source wait for
 // a daemon that has not started listening yet.
 package main
 
@@ -101,7 +101,7 @@ func main() {
 	fs.Var(&programs, "program", "pre-distributed MigC source file (repeatable in serve mode)")
 	afterPolls := fs.Int("after-polls", 1, "run: migrate at the N-th poll-point")
 	maxSteps := fs.Int64("max-steps", 4_000_000_000, "statement budget")
-	noStream := fs.Bool("no-stream", false, "run: offer only the monolithic (v1) transfer instead of negotiating up to the pipelined (v2) path")
+	noStream := fs.Bool("no-stream", false, "run: offer only the monolithic (v1) transfer instead of negotiating up to the sectioned (v3) path")
 	chunkSize := fs.Int("chunk", 256<<10, "pipelined path: chunk-size proposal in bytes (negotiated to the smaller of both sides')")
 	window := fs.Int("window", 16, "pipelined path: transmit-window proposal in chunks (negotiated likewise)")
 	retries := fs.Int("retry", 0, "run: extra dial attempts while the destination is not listening yet")
@@ -243,6 +243,9 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		OnRestored: func(info session.Info, p *vm.Process, timing core.Timing) {
 			fmt.Printf("[migd %s] session %d: restored %q (%d bytes in %.4fs); resuming\n",
 				m.Name, info.ID, info.Program, timing.Bytes, timing.Restore.Seconds())
+			if bd := p.SectionRestoreMetrics(); len(bd) > 0 {
+				fmt.Printf("[migd %s] session %d: sections restored:\n%s", m.Name, info.ID, bd)
+			}
 			p.Stdout = os.Stdout
 			p.MaxSteps = o.maxSteps
 			res, err := p.Run()
@@ -310,9 +313,16 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 	}
 	prm := sres.Params
 	how := fmt.Sprintf("monolithic v%d", prm.Version)
-	if prm.Version == core.VersionStream {
+	switch prm.Version {
+	case core.VersionStream:
 		how = fmt.Sprintf("streamed v%d, chunk %d, window %d", prm.Version, prm.ChunkSize, prm.Window)
+	case core.VersionSectioned:
+		how = fmt.Sprintf("sectioned v%d, chunk %d, window %d, %d workers engaged",
+			prm.Version, prm.ChunkSize, prm.Window, p.SectionWorkersEngaged())
 	}
 	fmt.Printf("[migd %s] migrated %d bytes (%s; collect %.4fs, tx %.4fs); terminating\n",
 		m.Name, sres.Timing.Bytes, how, sres.Timing.Collect.Seconds(), sres.Timing.Tx.Seconds())
+	if bd := p.SectionCaptureMetrics(); len(bd) > 0 {
+		fmt.Printf("[migd %s] sections collected:\n%s", m.Name, bd)
+	}
 }

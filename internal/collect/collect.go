@@ -282,30 +282,46 @@ func (s *Saver) saveRun(op types.PlanOp, base memory.Address) error {
 	if s.Instrument {
 		start = time.Now()
 	}
-	m := s.mach
+	n, err := encodeRun(s.enc, s.space, s.mach, op, base)
+	if err != nil {
+		return err
+	}
+	s.Stats.DataBytes += int64(n)
+	if s.Instrument {
+		s.Stats.EncodeTime += time.Since(start)
+	}
+	return nil
+}
+
+// encodeRun is the run encoder shared by the monolithic Saver and the
+// sectioned encoders: it writes one plan op's worth of non-pointer
+// scalars in canonical big-endian wire form and returns the byte count.
+// It reads memory and the type plan only, so concurrent encoders may run
+// it against the same space as long as each has its own encoder.
+func encodeRun(enc *xdr.Encoder, space *memory.Space, m *arch.Machine, op types.PlanOp, base memory.Address) (int, error) {
 	size := m.SizeOf(op.Kind)
 	ws := wireSize(op.Kind)
 	// When the encoder streams to a sink, bound each reservation so one
 	// large run (a linpack matrix) still flushes out in chunk-sized
 	// pieces instead of a single unsplittable Grow.
 	seg := op.Count
-	if hint := s.enc.SegmentHint(); hint > 0 {
+	if hint := enc.SegmentHint(); hint > 0 {
 		if max := hint / ws; max >= 1 && seg > max {
 			seg = max
 		}
 	}
 	if op.Stride == size {
 		// Contiguous run: one bounds check for the whole span.
-		src, err := s.space.Bytes(base+memory.Address(op.Off), size*op.Count)
+		src, err := space.Bytes(base+memory.Address(op.Off), size*op.Count)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		for done := 0; done < op.Count; done += seg {
 			n := op.Count - done
 			if n > seg {
 				n = seg
 			}
-			out := s.enc.Grow(ws * n)
+			out := enc.Grow(ws * n)
 			for i := 0; i < n; i++ {
 				v := m.Prim(src[(done+i)*size:], op.Kind)
 				putBE(out[i*ws:], v, ws)
@@ -317,20 +333,16 @@ func (s *Saver) saveRun(op types.PlanOp, base memory.Address) error {
 			if n > seg {
 				n = seg
 			}
-			out := s.enc.Grow(ws * n)
+			out := enc.Grow(ws * n)
 			for i := 0; i < n; i++ {
-				src, err := s.space.Bytes(base+memory.Address(op.Off+(done+i)*op.Stride), size)
+				src, err := space.Bytes(base+memory.Address(op.Off+(done+i)*op.Stride), size)
 				if err != nil {
-					return err
+					return 0, err
 				}
 				v := m.Prim(src, op.Kind)
 				putBE(out[i*ws:], v, ws)
 			}
 		}
 	}
-	s.Stats.DataBytes += int64(ws * op.Count)
-	if s.Instrument {
-		s.Stats.EncodeTime += time.Since(start)
-	}
-	return nil
+	return ws * op.Count, nil
 }

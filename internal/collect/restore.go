@@ -31,6 +31,17 @@ type RestoreStats struct {
 	DataBytes int64
 }
 
+// Add folds another restoration's counters into s (used to aggregate the
+// per-section restore statistics of a sectioned snapshot).
+func (s *RestoreStats) Add(o RestoreStats) {
+	s.UpdateTime += o.UpdateTime
+	s.DecodeTime += o.DecodeTime
+	s.Blocks += o.Blocks
+	s.Allocated += o.Allocated
+	s.Pointers += o.Pointers
+	s.DataBytes += o.DataBytes
+}
+
 // Restorer rebuilds memory blocks in a destination process from a
 // collection stream. The destination's MSRLT must already contain the
 // global and stack variable blocks (re-registered while reconstructing the
@@ -44,6 +55,12 @@ type Restorer struct {
 	dec   *xdr.Decoder
 
 	restored map[msr.BlockID]bool
+
+	// flat disables the inline-record discipline: pointer references are
+	// translated through the MSRLT only, never followed by a block
+	// record. Sectioned snapshots use this mode — the records live in
+	// the directory of the section that owns each block.
+	flat bool
 
 	// Instrument enables the fine-grained timing split in Stats.
 	Instrument bool
@@ -73,8 +90,8 @@ func (r *Restorer) RestoreVariable(addr memory.Address) error {
 		return err
 	}
 	if got != addr {
-		return fmt.Errorf("collect: restored variable reference %#x does not match destination layout %#x",
-			uint64(got), uint64(addr))
+		return fmt.Errorf("%w: restored variable reference %#x does not match destination layout %#x",
+			ErrMismatch, uint64(got), uint64(addr))
 	}
 	return nil
 }
@@ -91,37 +108,44 @@ func (r *Restorer) restorePointerValue() (memory.Address, error) {
 	r.Stats.Pointers++
 	seg, err := r.dec.Uint32()
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
 	}
 	if seg == nullSeg {
 		return 0, nil
 	}
 	if seg >= uint32(memory.NumSegments) {
-		return 0, fmt.Errorf("collect: invalid segment %d in stream", seg)
+		return 0, fmt.Errorf("%w: invalid segment %d", ErrCorruptStream, seg)
 	}
 	major, err := r.dec.Uint32()
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
 	}
 	minor, err := r.dec.Uint32()
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
 	}
 	ordinal, err := r.dec.Uint32()
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
 	}
 	ref := msr.Ref{
 		ID:      msr.BlockID{Seg: memory.Segment(seg), Major: major, Minor: minor},
 		Ordinal: int(ordinal),
 	}
-	if !r.restored[ref.ID] {
+	if !r.flat && !r.restored[ref.ID] {
 		r.restored[ref.ID] = true
 		if err := r.restoreBlock(ref.ID); err != nil {
 			return 0, err
 		}
 	}
-	return msr.AddrOf(r.table, r.mach, ref)
+	addr, err := msr.AddrOf(r.table, r.mach, ref)
+	if err != nil {
+		// Every target must have been registered by now — by an earlier
+		// record in the monolithic stream, or by the owning section of a
+		// sectioned snapshot.
+		return 0, fmt.Errorf("%w: %v", ErrCorruptStream, err)
+	}
+	return addr, nil
 }
 
 // restoreBlock consumes one block record: resolves or allocates the block,
@@ -129,15 +153,15 @@ func (r *Restorer) restorePointerValue() (memory.Address, error) {
 func (r *Restorer) restoreBlock(id msr.BlockID) error {
 	tIdx, err := r.dec.Uint32()
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: truncated record for block %s", ErrCorruptStream, id)
 	}
 	count, err := r.dec.Uint32()
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: truncated record for block %s", ErrCorruptStream, id)
 	}
 	ty, err := r.ti.At(int(tIdx))
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrCorruptStream, err)
 	}
 
 	var start time.Time
@@ -150,36 +174,84 @@ func (r *Restorer) restoreBlock(id msr.BlockID) error {
 		// A variable block laid out during execution-state
 		// reconstruction. Its shape must agree with the stream.
 		if b.Type != ty || b.Count != int(count) {
-			return fmt.Errorf("collect: block %s shape mismatch: stream %s x%d, destination %s x%d",
-				id, ty, count, b.Type, b.Count)
+			return fmt.Errorf("%w: block %s shape mismatch: stream %s x%d, destination %s x%d",
+				ErrMismatch, id, ty, count, b.Type, b.Count)
 		}
 	case id.Seg == memory.Heap:
-		addr, err := r.space.Malloc(int(count) * ty.SizeOf(r.mach))
+		b, err = r.allocHeapBlock(id, ty, int(count))
 		if err != nil {
 			return err
 		}
-		b = &msr.Block{ID: id, Addr: addr, Type: ty, Count: int(count)}
-		if err := r.table.Register(b); err != nil {
-			return err
-		}
-		r.table.RestoreFloor(id)
-		r.Stats.Allocated++
 	default:
-		return fmt.Errorf("collect: stream references unknown %s block %s", id.Seg, id)
+		return fmt.Errorf("%w: stream references unknown %s block %s", ErrMismatch, id.Seg, id)
 	}
 	if r.Instrument {
 		r.Stats.UpdateTime += time.Since(start)
 	}
 	r.Stats.Blocks++
+	return r.fillContents(b)
+}
 
-	plan := r.ti.Plan(ty, r.mach)
-	es := ty.SizeOf(r.mach)
+// fillContents decodes a block's content through its restoring plan.
+func (r *Restorer) fillContents(b *msr.Block) error {
+	plan := r.ti.Plan(b.Type, r.mach)
+	es := b.Type.SizeOf(r.mach)
 	for elem := 0; elem < b.Count; elem++ {
 		if err := r.restoreOps(plan.Ops, b.Addr+memory.Address(elem*es)); err != nil {
-			return fmt.Errorf("collect: restoring block %s element %d: %w", id, elem, err)
+			return fmt.Errorf("collect: restoring block %s element %d: %w", b.ID, elem, err)
 		}
 	}
 	return nil
+}
+
+// allocHeapBlock allocates and registers one heap block arriving in a
+// stream. Before trusting the declared element count it checks the
+// stream actually holds at least the minimum encoding of that many
+// elements, so a forged count cannot force a huge allocation from a
+// small input.
+func (r *Restorer) allocHeapBlock(id msr.BlockID, ty *types.Type, count int) (*msr.Block, error) {
+	es := ty.SizeOf(r.mach)
+	if count <= 0 || es <= 0 {
+		return nil, fmt.Errorf("%w: heap block %s declares %d elements of %d bytes",
+			ErrCorruptStream, id, count, es)
+	}
+	plan := r.ti.Plan(ty, r.mach)
+	per := wireMinPerElem(plan.Ops)
+	if per < 1 {
+		per = 1
+	}
+	if int64(count)*int64(per) > int64(r.dec.Remaining()) {
+		return nil, fmt.Errorf("%w: heap block %s declares %d elements but only %d bytes remain",
+			ErrCorruptStream, id, count, r.dec.Remaining())
+	}
+	addr, err := r.space.Malloc(count * es)
+	if err != nil {
+		return nil, err
+	}
+	b := &msr.Block{ID: id, Addr: addr, Type: ty, Count: count}
+	if err := r.table.Register(b); err != nil {
+		return nil, err
+	}
+	r.table.RestoreFloor(id)
+	r.Stats.Allocated++
+	return b, nil
+}
+
+// wireMinPerElem returns the minimum wire bytes one element of a plan can
+// occupy (pointers count their 4-byte null form).
+func wireMinPerElem(ops []types.PlanOp) int {
+	n := 0
+	for _, op := range ops {
+		switch {
+		case op.Sub != nil:
+			n += op.Count * wireMinPerElem(op.Sub)
+		case op.Kind == arch.Ptr:
+			n += op.Count * 4
+		default:
+			n += op.Count * wireSize(op.Kind)
+		}
+	}
+	return n
 }
 
 // restoreOps mirrors Saver.saveOps.
@@ -218,17 +290,30 @@ func (r *Restorer) restoreRun(op types.PlanOp, base memory.Address) error {
 	if r.Instrument {
 		start = time.Now()
 	}
-	m := r.mach
-	size := m.SizeOf(op.Kind)
-	ws := wireSize(op.Kind)
-	in, err := r.dec.Take(ws * op.Count)
+	n, err := decodeRun(r.dec, r.space, r.mach, op, base)
 	if err != nil {
 		return err
 	}
+	r.Stats.DataBytes += int64(n)
+	if r.Instrument {
+		r.Stats.DecodeTime += time.Since(start)
+	}
+	return nil
+}
+
+// decodeRun is encodeRun's inverse, shared by the monolithic Restorer
+// and the sectioned restorers.
+func decodeRun(dec *xdr.Decoder, space *memory.Space, m *arch.Machine, op types.PlanOp, base memory.Address) (int, error) {
+	size := m.SizeOf(op.Kind)
+	ws := wireSize(op.Kind)
+	in, err := dec.Take(ws * op.Count)
+	if err != nil {
+		return 0, fmt.Errorf("%w: truncated scalar run", ErrCorruptStream)
+	}
 	if op.Stride == size {
-		dst, err := r.space.Bytes(base+memory.Address(op.Off), size*op.Count)
+		dst, err := space.Bytes(base+memory.Address(op.Off), size*op.Count)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		for i := 0; i < op.Count; i++ {
 			v := getBE(in[i*ws:i*ws+ws], ws)
@@ -236,16 +321,12 @@ func (r *Restorer) restoreRun(op types.PlanOp, base memory.Address) error {
 		}
 	} else {
 		for i := 0; i < op.Count; i++ {
-			dst, err := r.space.Bytes(base+memory.Address(op.Off+i*op.Stride), size)
+			dst, err := space.Bytes(base+memory.Address(op.Off+i*op.Stride), size)
 			if err != nil {
-				return err
+				return 0, err
 			}
 			m.PutPrim(dst, op.Kind, getBE(in[i*ws:i*ws+ws], ws))
 		}
 	}
-	r.Stats.DataBytes += int64(ws * op.Count)
-	if r.Instrument {
-		r.Stats.DecodeTime += time.Since(start)
-	}
-	return nil
+	return ws * op.Count, nil
 }

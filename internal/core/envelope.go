@@ -25,6 +25,11 @@ const (
 	// the raw state, cut into CRC-framed chunks by internal/stream, which
 	// enforces integrity per chunk and per stream.
 	VersionStream uint32 = 2
+	// VersionSectioned is the sectioned envelope: the header is followed
+	// by a sectioned (internal/snapshot) state — typed, independently
+	// CRC-framed sections whose heap components are collected in
+	// parallel — carried over the same chunk layer as VersionStream.
+	VersionSectioned uint32 = 3
 )
 
 // envHeader is a decoded envelope header.

@@ -1,0 +1,94 @@
+package core
+
+// Sectioned migration (envelope version 3): the captured state is a
+// sectioned snapshot (internal/snapshot) — execution state, heap
+// components, frames, and globals as typed, independently CRC-framed
+// sections — whose heap components were encoded concurrently by the
+// collection layer. On the wire it rides the same chunk layer as the
+// version-2 stream; the difference is the payload format and the parallel
+// collection behind it. The snapshot's per-section CRCs let the restorer
+// localize corruption to one section even when the transport (or a v1
+// in-memory envelope) has no framing of its own.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/link"
+	"repro/internal/stream"
+	"repro/internal/vm"
+	"repro/internal/xdr"
+)
+
+// putSectionedHeader encodes the sectioned envelope header — the shared
+// envelope header at VersionSectioned, followed directly by the snapshot.
+func (e *Engine) putSectionedHeader(enc *xdr.Encoder, src *arch.Machine) {
+	putHeader(enc, VersionSectioned, src.Name, e.Digest())
+}
+
+// OpenSectioned verifies a reassembled sectioned envelope and returns the
+// raw snapshot and the source machine name.
+func (e *Engine) OpenSectioned(payload []byte) (state []byte, srcName string, err error) {
+	dec := xdr.NewDecoder(payload)
+	h, err := e.openHeader(dec, VersionSectioned)
+	if err != nil {
+		return nil, "", err
+	}
+	return payload[dec.Offset():], h.srcName, nil
+}
+
+// SendSectioned captures the state of p (stopped at its migration point)
+// as a sectioned snapshot — heap components encoded on a pool of workers
+// (<= 0 selects GOMAXPROCS) — and transmits it through sw in chunkSize
+// pieces. Unlike SendStream, collection does not overlap transmission:
+// the sections are assembled in their deterministic order after the pool
+// joins, then flushed; v3's concurrency lives in the encode itself.
+func (e *Engine) SendSectioned(sw io.WriteCloser, src *arch.Machine, p *vm.Process, chunkSize, workers int) (Timing, error) {
+	start := time.Now()
+	enc := xdr.NewEncoder(chunkSize + 1024)
+	enc.SetSink(chunkSize, func(b []byte) error {
+		_, err := sw.Write(b)
+		return err
+	})
+	e.putSectionedHeader(enc, src)
+	if err := p.CaptureSectionsTo(enc, workers); err != nil {
+		sw.Close()
+		return Timing{}, fmt.Errorf("core: sectioned collection: %w", err)
+	}
+	if err := enc.FlushSink(); err != nil {
+		sw.Close()
+		return Timing{}, fmt.Errorf("core: sectioned transfer: %w", err)
+	}
+	if err := sw.Close(); err != nil {
+		return Timing{}, fmt.Errorf("core: sectioned transfer: %w", err)
+	}
+	return Timing{Tx: time.Since(start), Bytes: enc.Len()}, nil
+}
+
+// SendSectionedOver is the convenience path over a single established
+// transport: it wraps t in a plain stream.Writer and sends the snapshot.
+func (e *Engine) SendSectionedOver(t link.Transport, src *arch.Machine, p *vm.Process, cfg stream.Config, workers int) (Timing, error) {
+	w := stream.NewWriter(t, cfg)
+	return e.SendSectioned(w, src, p, chunkSizeOf(cfg), workers)
+}
+
+// ReceiveAndRestoreSectioned reassembles a sectioned envelope from r,
+// verifies it, and restores the process on machine m section by section.
+func (e *Engine) ReceiveAndRestoreSectioned(r *stream.Reader, m *arch.Machine) (*vm.Process, Timing, error) {
+	payload, err := r.ReadAll()
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	state, _, err := e.OpenSectioned(payload)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	start := time.Now()
+	p, err := vm.RestoreProcess(e.Prog, m, state)
+	if err != nil {
+		return nil, Timing{}, err
+	}
+	return p, Timing{Restore: time.Since(start), Bytes: len(payload)}, nil
+}

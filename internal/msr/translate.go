@@ -38,10 +38,17 @@ func (r Ref) String() string {
 // machine-independent (header, offset) form using the MSRLT. The machine is
 // needed to interpret element sizes. A zero address resolves to NullRef.
 func Resolve(t *Table, m *arch.Machine, addr memory.Address) (Ref, error) {
+	return ResolveStats(t, m, addr, &t.Stats)
+}
+
+// ResolveStats is Resolve with the MSRLT counters recorded into st, so
+// concurrent section encoders can translate pointers without racing on
+// the table's Stats (see Table.LookupStats).
+func ResolveStats(t *Table, m *arch.Machine, addr memory.Address, st *Stats) (Ref, error) {
 	if addr == 0 {
 		return NullRef, nil
 	}
-	b, off, err := t.Lookup(addr, func(ty *types.Type) int { return ty.SizeOf(m) })
+	b, off, err := t.LookupStats(addr, func(ty *types.Type) int { return ty.SizeOf(m) }, st)
 	if err != nil {
 		return Ref{}, err
 	}

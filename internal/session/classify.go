@@ -1,0 +1,57 @@
+package session
+
+import (
+	"errors"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+// FailureClass buckets session failures for diagnostics: the daemon logs
+// the class next to each failed session so an operator can tell a damaged
+// or forged stream apart from a peer running a different program build
+// without reading the error chain.
+type FailureClass string
+
+const (
+	// FailCorrupt: the transferred state itself is damaged — truncated
+	// records, CRC mismatches, invalid references (collect.ErrCorruptStream,
+	// the envelope/stream checksums, the v3 section framing errors).
+	FailCorrupt FailureClass = "corrupt-stream"
+	// FailMismatch: a well-formed state that belongs to a different
+	// program build or plan (collect.ErrMismatch, digest mismatches).
+	FailMismatch FailureClass = "program-mismatch"
+	// FailNegotiation: the handshake never produced parameters.
+	FailNegotiation FailureClass = "negotiation"
+	// FailTransport: everything else — connection resets, timeouts,
+	// protocol violations below the state layer.
+	FailTransport FailureClass = "transport"
+)
+
+// ClassifyFailure maps a session error to its FailureClass by walking the
+// wrapped-error chain for the typed sentinels the collect and core layers
+// attach at each decode failure.
+func ClassifyFailure(err error) FailureClass {
+	switch {
+	case errors.Is(err, collect.ErrCorruptStream),
+		errors.Is(err, core.ErrChecksum),
+		errors.Is(err, core.ErrBadEnvelope),
+		errors.Is(err, stream.ErrVerify),
+		errors.Is(err, snapshot.ErrBadSnapshot),
+		errors.Is(err, snapshot.ErrBadSection),
+		errors.Is(err, snapshot.ErrTruncated),
+		errors.Is(err, snapshot.ErrChecksum):
+		return FailCorrupt
+	case errors.Is(err, collect.ErrMismatch),
+		errors.Is(err, core.ErrProgramMismatch),
+		errors.Is(err, core.ErrVersionMismatch):
+		return FailMismatch
+	case errors.Is(err, ErrRejected),
+		errors.Is(err, ErrNoVersion),
+		errors.Is(err, ErrUnknownProgram):
+		return FailNegotiation
+	}
+	return FailTransport
+}

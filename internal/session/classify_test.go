@@ -1,0 +1,41 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/collect"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+	"repro/internal/stream"
+)
+
+func TestClassifyFailure(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FailureClass
+	}{
+		{fmt.Errorf("vm: restoring heap section 2: %w", collect.ErrCorruptStream), FailCorrupt},
+		{fmt.Errorf("core: %w", core.ErrChecksum), FailCorrupt},
+		{core.ErrBadEnvelope, FailCorrupt},
+		{fmt.Errorf("stream: %w", stream.ErrVerify), FailCorrupt},
+		{fmt.Errorf("vm: %w", snapshot.ErrChecksum), FailCorrupt},
+		{snapshot.ErrTruncated, FailCorrupt},
+		{snapshot.ErrBadSection, FailCorrupt},
+		{fmt.Errorf("prologue: %w", snapshot.ErrBadSnapshot), FailCorrupt},
+		{fmt.Errorf("vm: frame count: %w", collect.ErrMismatch), FailMismatch},
+		{core.ErrProgramMismatch, FailMismatch},
+		{core.ErrVersionMismatch, FailMismatch},
+		{fmt.Errorf("session: %w", ErrRejected), FailNegotiation},
+		{ErrNoVersion, FailNegotiation},
+		{ErrUnknownProgram, FailNegotiation},
+		{errors.New("connection reset by peer"), FailTransport},
+		{fmt.Errorf("read tcp: %w", errors.New("i/o timeout")), FailTransport},
+	}
+	for _, c := range cases {
+		if got := ClassifyFailure(c.err); got != c.want {
+			t.Errorf("ClassifyFailure(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+}

@@ -214,7 +214,7 @@ func (d *Daemon) handle(conn *link.Conn) {
 	info.ID = id
 	if err != nil {
 		d.counters.Failed()
-		d.logf("session %d: failed: %v", id, err)
+		d.logf("session %d: failed (%s): %v", id, ClassifyFailure(err), err)
 		return
 	}
 	d.counters.Restored(timing.Bytes)

@@ -30,6 +30,8 @@ func pathFor(version uint32) (Path, error) {
 		return monoPath{}, nil
 	case core.VersionStream:
 		return streamPath{}, nil
+	case core.VersionSectioned:
+		return sectionedPath{}, nil
 	}
 	return nil, fmt.Errorf("%w: no transfer path for version %d", ErrProtocol, version)
 }
@@ -66,4 +68,26 @@ func (sp streamPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p
 func (sp streamPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
 	r := stream.NewReader(t, sp.config(prm))
 	return e.ReceiveAndRestoreStream(r, m)
+}
+
+// sectionedPath carries a sectioned (v3) snapshot — heap components
+// collected in parallel, every section independently CRC-framed — over
+// the same chunk layer as streamPath.
+type sectionedPath struct{}
+
+func (sectionedPath) config(prm Params) stream.Config {
+	return stream.Config{ChunkSize: prm.ChunkSize, Window: prm.Window}
+}
+
+func (sp sectionedPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	w := stream.NewWriter(t, sp.config(prm))
+	// workers 0 = GOMAXPROCS; the worker count is a local collection
+	// choice, not a negotiated parameter — the snapshot bytes are
+	// identical for any count.
+	return e.SendSectioned(w, src, p, prm.ChunkSize, 0)
+}
+
+func (sp sectionedPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
+	r := stream.NewReader(t, sp.config(prm))
+	return e.ReceiveAndRestoreSectioned(r, m)
 }

@@ -15,8 +15,9 @@
 //     stream parameters, and replies ACCEPT (version, chunk, window) — or
 //     REJECT with a human-readable reason;
 //  3. the agreed version selects a Path — the monolithic sealed envelope
-//     (version 1) or the pipelined chunk stream (version 2) — and the
-//     state flows through it;
+//     (version 1), the pipelined chunk stream (version 2), or the
+//     sectioned snapshot with parallel heap collection (version 3) — and
+//     the state flows through it;
 //  4. the responder restores the process and confirms with RESTORED, at
 //     which point the source process may terminate (the paper's
 //     source-terminates-after-transmission rule, moved after restoration
@@ -38,7 +39,8 @@
 //
 // Between ACCEPT and RESTORED the transport belongs to the selected Path:
 // one sealed envelope frame for version 1, the internal/stream protocol
-// for version 2.
+// for versions 2 and 3 (version 3 carries a sectioned snapshot as the
+// stream payload).
 package session
 
 import (
@@ -79,8 +81,8 @@ var (
 // Config is one side's negotiation posture.
 type Config struct {
 	// MinVersion and MaxVersion bound the envelope versions this side
-	// speaks. Zero values default to [core.VersionMono, core.VersionStream]
-	// — both paths.
+	// speaks. Zero values default to
+	// [core.VersionMono, core.VersionSectioned] — every path.
 	MinVersion uint32
 	MaxVersion uint32
 	// ChunkSize and Window are this side's streamed-path proposals and
@@ -95,7 +97,7 @@ func (c Config) withDefaults() Config {
 		c.MinVersion = core.VersionMono
 	}
 	if c.MaxVersion == 0 {
-		c.MaxVersion = core.VersionStream
+		c.MaxVersion = core.VersionSectioned
 	}
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 256 << 10

@@ -82,7 +82,13 @@ func TestNegotiate(t *testing.T) {
 		wantErr error
 	}{
 		{
-			name:  "both full range picks streamed",
+			name:  "both full range picks sectioned",
+			offer: offer{minVer: 1, maxVer: 3, chunk: 1 << 20, window: 32},
+			srv:   Config{},
+			want:  Params{Version: core.VersionSectioned, ChunkSize: 256 << 10, Window: 16},
+		},
+		{
+			name:  "v2-capped initiator picks streamed",
 			offer: offer{minVer: 1, maxVer: 2, chunk: 1 << 20, window: 32},
 			srv:   Config{},
 			want:  Params{Version: core.VersionStream, ChunkSize: 256 << 10, Window: 16},
@@ -113,7 +119,7 @@ func TestNegotiate(t *testing.T) {
 		},
 		{
 			name:    "future-only initiator has no common version",
-			offer:   offer{minVer: 3, maxVer: 5},
+			offer:   offer{minVer: 4, maxVer: 6},
 			srv:     Config{},
 			wantErr: ErrNoVersion,
 		},
@@ -188,7 +194,7 @@ func TestInitiateReportsNegotiatedParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Params{Version: core.VersionStream, ChunkSize: 512, Window: 4}
+	want := Params{Version: core.VersionSectioned, ChunkSize: 512, Window: 4}
 	if res.Params != want {
 		t.Errorf("params = %+v, want %+v", res.Params, want)
 	}
@@ -233,7 +239,7 @@ func TestRespondRejectsNoCommonVersion(t *testing.T) {
 	reg.Add("list", e)
 	go Respond(b, reg, arch.SPARC20, Config{})
 	// An initiator from the future: speaks only versions we do not.
-	_, err := Initiate(a, e, p.Mach, "list", p, Config{MinVersion: 3, MaxVersion: 5})
+	_, err := Initiate(a, e, p.Mach, "list", p, Config{MinVersion: 4, MaxVersion: 6})
 	if !errors.Is(err, ErrRejected) {
 		t.Fatalf("err = %v, want ErrRejected", err)
 	}
@@ -269,8 +275,8 @@ func migrateTo(t *testing.T, addr string, e *core.Engine, cfg Config) (*Result, 
 
 func TestDaemonConcurrentMixedVersions(t *testing.T) {
 	// The acceptance scenario: one persistent daemon completes at least 4
-	// concurrent migrations from a mix of v1-only and v2 clients, with no
-	// operator-matched stream flags anywhere. OnRestored holds the first
+	// concurrent migrations from a mix of v1-only and full-range (v3)
+	// clients, with no operator-matched stream flags anywhere. OnRestored holds the first
 	// 4 sessions at a barrier, so the test deadlocks (and times out)
 	// unless 4 workers are truly in flight at once.
 	const clients = 6
@@ -332,17 +338,17 @@ func TestDaemonConcurrentMixedVersions(t *testing.T) {
 	}
 	wg.Wait()
 	close(versions)
-	monos, streams := 0, 0
+	monos, sectioned := 0, 0
 	for v := range versions {
 		switch v {
 		case core.VersionMono:
 			monos++
-		case core.VersionStream:
-			streams++
+		case core.VersionSectioned:
+			sectioned++
 		}
 	}
-	if monos != clients/2 || streams != clients/2 {
-		t.Errorf("negotiated versions: %d mono, %d streamed; want %d each", monos, streams, clients/2)
+	if monos != clients/2 || sectioned != clients/2 {
+		t.Errorf("negotiated versions: %d mono, %d sectioned; want %d each", monos, sectioned, clients/2)
 	}
 	for i := 0; i < clients; i++ {
 		if code := <-exits; code != listExit {

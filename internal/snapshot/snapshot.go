@@ -1,0 +1,209 @@
+// Package snapshot defines the sectioned snapshot format (envelope
+// version 3): the captured process state is not one opaque MSRM byte
+// stream but a sequence of typed, independently framed sections, each
+// carrying its own length and CRC.
+//
+// The section kinds mirror the MSR graph partition of the paper's
+// Section 3: the execution state (the chain of active invocations and
+// their migration sites), one section per connected component of the
+// heap subgraph, one section per stack frame, and one for the globals.
+// Because every section is self-describing, a receiver can verify
+// integrity per section, rebuild the MSRLT section by section, and
+// account bytes and time per section — none of which the monolithic
+// stream allows.
+//
+// # Wire format
+//
+//	snapshot = magic "MSN3", count u32, section*count
+//	section  = kind u32, id u32, length u32, crc u32, body (padded to 4)
+//
+// crc is the IEEE CRC-32 of the unpadded body. Sections appear in
+// deterministic order — exec, heap components (by component number),
+// frames (innermost first), globals — so two captures of the same
+// stopped process are byte-identical regardless of how many workers
+// encoded them.
+//
+// This package is pure framing: it knows nothing about what the bodies
+// contain (internal/collect encodes and decodes those).
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/xdr"
+)
+
+// Magic opens every sectioned snapshot ("MSN3").
+const Magic = 0x4d534e33
+
+// Kind identifies what a section's body holds.
+type Kind uint32
+
+// Section kinds, in their deterministic stream order.
+const (
+	// KindExec is the execution state: the frame chain and the
+	// migration site each frame is stopped at. Always the first section.
+	KindExec Kind = 1
+	// KindHeap is one connected component of the heap subgraph of the
+	// MSR; ID is the component number in first-visit order.
+	KindHeap Kind = 2
+	// KindFrame is the live data of one stack frame; ID is the frame
+	// depth (1 = outermost). Frames appear innermost first.
+	KindFrame Kind = 3
+	// KindGlobals is the global variables' live data. Always last.
+	KindGlobals Kind = 4
+
+	kindMax = uint32(KindGlobals)
+)
+
+// String names the kind for diagnostics and metrics.
+func (k Kind) String() string {
+	switch k {
+	case KindExec:
+		return "exec"
+	case KindHeap:
+		return "heap"
+	case KindFrame:
+		return "frame"
+	case KindGlobals:
+		return "globals"
+	}
+	return fmt.Sprintf("kind%d", uint32(k))
+}
+
+// Section is one framed unit of a sectioned snapshot.
+type Section struct {
+	Kind Kind
+	ID   uint32
+	Body []byte
+}
+
+// Errors reported by the decoder. All of them mean the stream cannot be
+// trusted (as opposed to a stream that is well-formed but belongs to a
+// different program, which the body decoders report).
+var (
+	// ErrBadSnapshot is a malformed snapshot prologue: wrong magic or an
+	// implausible section count.
+	ErrBadSnapshot = errors.New("snapshot: malformed snapshot prologue")
+	// ErrBadSection is a malformed section header: unknown kind.
+	ErrBadSection = errors.New("snapshot: malformed section header")
+	// ErrTruncated is a section whose declared length exceeds the data.
+	ErrTruncated = errors.New("snapshot: truncated section")
+	// ErrChecksum is a section body failing its CRC.
+	ErrChecksum = errors.New("snapshot: section checksum mismatch")
+)
+
+// maxSections bounds the declared section count: 1 exec + 1 globals +
+// 2^16 frames (the vm's own frame bound) + heap components, with room.
+const maxSections = 1 << 20
+
+// PutPrologue writes the snapshot magic and section count.
+func PutPrologue(enc *xdr.Encoder, sections int) {
+	enc.PutUint32(Magic)
+	enc.PutUint32(uint32(sections))
+}
+
+// Append frames one section onto enc: header, CRC, padded body.
+func Append(enc *xdr.Encoder, s Section) {
+	enc.PutUint32(uint32(s.Kind))
+	enc.PutUint32(s.ID)
+	enc.PutUint32(uint32(len(s.Body)))
+	enc.PutUint32(crc32.ChecksumIEEE(s.Body))
+	enc.PutFixedOpaque(s.Body)
+}
+
+// Encode frames a whole snapshot into a fresh buffer (prologue plus
+// every section in the given order).
+func Encode(sections []Section) []byte {
+	size := 8
+	for _, s := range sections {
+		size += 16 + len(s.Body) + 3
+	}
+	enc := xdr.NewEncoder(size)
+	PutPrologue(enc, len(sections))
+	for _, s := range sections {
+		Append(enc, s)
+	}
+	return enc.Bytes()
+}
+
+// Reader decodes a sectioned snapshot from dec, verifying each section's
+// CRC as it is read.
+type Reader struct {
+	dec       *xdr.Decoder
+	remaining int
+}
+
+// NewReader reads and validates the snapshot prologue.
+func NewReader(dec *xdr.Decoder) (*Reader, error) {
+	magic, err := dec.Uint32()
+	if err != nil || magic != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	count, err := dec.Uint32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: missing section count", ErrBadSnapshot)
+	}
+	if count == 0 || count > maxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrBadSnapshot, count)
+	}
+	return &Reader{dec: dec, remaining: int(count)}, nil
+}
+
+// Remaining reports how many sections have not been read yet.
+func (r *Reader) Remaining() int { return r.remaining }
+
+// Next reads, verifies, and returns the next section. The returned body
+// aliases the underlying buffer.
+func (r *Reader) Next() (Section, error) {
+	if r.remaining == 0 {
+		return Section{}, fmt.Errorf("%w: no sections remain", ErrBadSnapshot)
+	}
+	kind, err := r.dec.Uint32()
+	if err != nil {
+		return Section{}, fmt.Errorf("%w: missing header", ErrTruncated)
+	}
+	if kind == 0 || kind > kindMax {
+		return Section{}, fmt.Errorf("%w: unknown kind %d", ErrBadSection, kind)
+	}
+	id, err := r.dec.Uint32()
+	if err != nil {
+		return Section{}, fmt.Errorf("%w: missing header", ErrTruncated)
+	}
+	length, err := r.dec.Uint32()
+	if err != nil {
+		return Section{}, fmt.Errorf("%w: missing header", ErrTruncated)
+	}
+	sum, err := r.dec.Uint32()
+	if err != nil {
+		return Section{}, fmt.Errorf("%w: missing header", ErrTruncated)
+	}
+	if int64(length) > int64(r.dec.Remaining()) {
+		return Section{}, fmt.Errorf("%w: %s section %d declares %d bytes, %d remain",
+			ErrTruncated, Kind(kind), id, length, r.dec.Remaining())
+	}
+	body, err := r.dec.FixedOpaque(int(length))
+	if err != nil {
+		return Section{}, fmt.Errorf("%w: %s section %d body", ErrTruncated, Kind(kind), id)
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return Section{}, fmt.Errorf("%w: %s section %d", ErrChecksum, Kind(kind), id)
+	}
+	r.remaining--
+	return Section{Kind: Kind(kind), ID: id, Body: body}, nil
+}
+
+// ReadAll decodes every remaining section.
+func (r *Reader) ReadAll() ([]Section, error) {
+	out := make([]Section, 0, r.remaining)
+	for r.remaining > 0 {
+		s, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/xdr"
+)
+
+func sample() []Section {
+	return []Section{
+		{Kind: KindExec, ID: 0, Body: []byte{1, 2, 3, 4, 5}},
+		{Kind: KindHeap, ID: 0, Body: []byte("heap component zero")},
+		{Kind: KindHeap, ID: 1, Body: nil},
+		{Kind: KindFrame, ID: 2, Body: []byte{0xff}},
+		{Kind: KindGlobals, ID: 0, Body: []byte("globals")},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sample()
+	buf := Encode(in)
+	rd, err := NewReader(xdr.NewDecoder(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d sections, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Kind != in[i].Kind || out[i].ID != in[i].ID {
+			t.Errorf("section %d header = (%v,%d), want (%v,%d)",
+				i, out[i].Kind, out[i].ID, in[i].Kind, in[i].ID)
+		}
+		if string(out[i].Body) != string(in[i].Body) {
+			t.Errorf("section %d body = %q, want %q", i, out[i].Body, in[i].Body)
+		}
+	}
+	if rd.Remaining() != 0 {
+		t.Errorf("Remaining = %d after ReadAll", rd.Remaining())
+	}
+}
+
+func TestBadPrologue(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"bad magic", Encode(sample())[1:]},
+		{"zero count", func() []byte {
+			enc := xdr.NewEncoder(8)
+			PutPrologue(enc, 0)
+			return enc.Bytes()
+		}()},
+		{"implausible count", func() []byte {
+			enc := xdr.NewEncoder(8)
+			PutPrologue(enc, maxSections+1)
+			return enc.Bytes()
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := NewReader(xdr.NewDecoder(c.buf)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", c.name, err)
+		}
+	}
+}
+
+func TestCorruptBody(t *testing.T) {
+	buf := Encode(sample())
+	// Flip one byte inside the first section's body (prologue 8 + header
+	// 16 bytes in).
+	buf[8+16] ^= 0x40
+	rd, err := NewReader(xdr.NewDecoder(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	buf := Encode(sample())
+	for _, cut := range []int{9, 20, len(buf) / 2, len(buf) - 1} {
+		rd, err := NewReader(xdr.NewDecoder(buf[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: prologue: %v", cut, err)
+		}
+		var last error
+		for rd.Remaining() > 0 {
+			if _, last = rd.Next(); last != nil {
+				break
+			}
+		}
+		if !errors.Is(last, ErrTruncated) && !errors.Is(last, ErrChecksum) {
+			t.Errorf("cut %d: err = %v, want ErrTruncated or ErrChecksum", cut, last)
+		}
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	buf := Encode([]Section{{Kind: Kind(9), ID: 0, Body: []byte("x")}})
+	rd, err := NewReader(xdr.NewDecoder(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrBadSection) {
+		t.Errorf("err = %v, want ErrBadSection", err)
+	}
+}
+
+func TestLengthPastEnd(t *testing.T) {
+	enc := xdr.NewEncoder(64)
+	PutPrologue(enc, 1)
+	enc.PutUint32(uint32(KindHeap))
+	enc.PutUint32(0)
+	enc.PutUint32(1 << 30) // declared length far past the buffer
+	enc.PutUint32(0)
+	rd, err := NewReader(xdr.NewDecoder(enc.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestNextPastCount(t *testing.T) {
+	buf := Encode(sample())
+	rd, err := NewReader(xdr.NewDecoder(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); !errors.Is(err, ErrBadSnapshot) {
+		t.Errorf("Next past count: err = %v, want ErrBadSnapshot", err)
+	}
+}

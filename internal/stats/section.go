@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SectionMetric describes one section of a sectioned (v3) snapshot: its
+// kind and identifier, the encoded body size, and the wall time spent
+// encoding or decoding it.
+type SectionMetric struct {
+	Kind    string
+	ID      uint32
+	Bytes   int
+	Elapsed time.Duration
+}
+
+// SectionBreakdown is the per-section cost profile of one capture or one
+// restoration, in section order.
+type SectionBreakdown []SectionMetric
+
+// TotalBytes sums the body sizes of every section.
+func (b SectionBreakdown) TotalBytes() int {
+	n := 0
+	for _, s := range b {
+		n += s.Bytes
+	}
+	return n
+}
+
+// TotalElapsed sums the per-section wall times. For a parallel encode
+// this is CPU-ish time, larger than the capture's wall time.
+func (b SectionBreakdown) TotalElapsed() time.Duration {
+	var d time.Duration
+	for _, s := range b {
+		d += s.Elapsed
+	}
+	return d
+}
+
+// String formats the breakdown as a compact one-line-per-section table.
+func (b SectionBreakdown) String() string {
+	var sb strings.Builder
+	for _, s := range b {
+		fmt.Fprintf(&sb, "  %-7s #%-3d %8d B  %s\n", s.Kind, s.ID, s.Bytes, s.Elapsed)
+	}
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/minic"
+)
+
+// fuzzSource is pointer-rich on purpose: a linked list reached both from
+// a global and a local, so the captured state exercises heap refs, stack
+// refs, and global refs.
+const fuzzSource = `
+	struct node { double data; struct node *link; };
+	struct node *head;
+	int main() {
+		struct node *cur;
+		int i, sum;
+		head = 0;
+		for (i = 1; i <= 12; i++) {
+			cur = (struct node *) malloc(sizeof(struct node));
+			cur->data = i;
+			cur->link = head;
+			head = cur;
+		}
+		sum = 0;
+		cur = head;
+		while (cur) {
+			sum += (int)cur->data;
+			cur = cur->link;
+		}
+		return sum;
+	}
+`
+
+// fuzzStates compiles fuzzSource, runs it to the n-th poll on Ultra 5,
+// and returns the program plus its captured v1 and v3 (sectioned) states.
+func fuzzStates(f *testing.F) (*minic.Program, []byte, []byte) {
+	prog, err := minic.Compile(fuzzSource, minic.DefaultPolicy)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := NewProcess(prog, arch.Ultra5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	p.Stdout = &bytes.Buffer{}
+	p.MaxSteps = 1_000_000
+	polls := 0
+	p.PollHook = func(_ *Process, _ *minic.Site) bool {
+		polls++
+		return polls == 7
+	}
+	res, err := p.Run()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if !res.Migrated {
+		f.Fatal("program finished before migration point")
+	}
+	v3, err := p.CaptureSections(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return prog, res.State, v3
+}
+
+// FuzzDecodeRef feeds arbitrary bytes — seeded with real v1 and v3
+// snapshots and mutations of them — to the full restore path. Both the
+// monolithic and the sectioned decoder sit behind RestoreProcess, and
+// whatever the fuzzer invents, restore must either succeed or return an
+// error: no panic, no runaway allocation.
+func FuzzDecodeRef(f *testing.F) {
+	prog, v1, v3 := fuzzStates(f)
+	f.Add(v1)
+	f.Add(v3)
+	f.Add(v1[:len(v1)/2])
+	f.Add(v3[:len(v3)/2])
+	for _, seed := range [][]byte{v1, v3} {
+		for _, off := range []int{4, len(seed) / 3, len(seed) - 8} {
+			mut := append([]byte(nil), seed...)
+			mut[off] ^= 0x81
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := RestoreProcess(prog, arch.I386, data)
+		if err != nil {
+			return
+		}
+		// A state the decoder accepted must also execute without crashing
+		// the vm. A mutated-but-well-formed state may legitimately hit the
+		// step limit or exit nonzero, so only panics count as failures.
+		q.Stdout = &bytes.Buffer{}
+		q.MaxSteps = 1_000_000
+		_, _ = q.Run()
+	})
+}

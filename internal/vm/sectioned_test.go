@@ -1,0 +1,212 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/collect"
+	"repro/internal/minic"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+	"repro/internal/xdr"
+)
+
+// stopSectioned compiles src with explicit poll points only (so the
+// sole poll site is its migrate_here() intrinsic), runs it on Ultra 5 to
+// that point, and returns the stopped process, its v1 state, and the
+// expected final exit code from an unmigrated reference run.
+func stopSectioned(t *testing.T, src string) (*Process, *minic.Program, []byte, int) {
+	t.Helper()
+	prog, err := minic.Compile(src, minic.PollPolicy{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	want, _ := reference(t, prog, arch.Ultra5)
+	p, err := NewProcess(prog, arch.Ultra5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stdout = &bytes.Buffer{}
+	p.MaxSteps = 50_000_000
+	p.PollHook = func(_ *Process, _ *minic.Site) bool { return true }
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Migrated {
+		t.Fatalf("finished (exit %d) before reaching migrate_here", res.ExitCode)
+	}
+	return p, prog, res.State, want
+}
+
+func TestSectionedSerialParallelIdentical(t *testing.T) {
+	p, _, _, _ := stopSectioned(t, workload.ShardedListsSource(6, 40))
+	serial, err := p.CaptureSections(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := p.CaptureSections(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("serial (%d B) and parallel (%d B) snapshots differ", len(serial), len(parallel))
+	}
+	comps := 0
+	for _, s := range p.SectionCaptureMetrics() {
+		if s.Kind == "heap" {
+			comps++
+		}
+	}
+	if comps != 6 {
+		t.Errorf("heap components = %d, want 6 (one per sharded list)", comps)
+	}
+}
+
+func TestSectionedPartitionMergesSharedHeap(t *testing.T) {
+	// Two lists spliced together at the tail form one connected component.
+	src := `
+		struct node { double data; struct node *link; };
+		struct node *a;
+		struct node *b;
+		int main() {
+			struct node *cur;
+			int i, sum;
+			a = 0;
+			for (i = 1; i <= 10; i++) {
+				cur = (struct node *) malloc(sizeof(struct node));
+				cur->data = i;
+				cur->link = a;
+				a = cur;
+			}
+			b = (struct node *) malloc(sizeof(struct node));
+			b->data = 99.0;
+			b->link = a;
+			migrate_here();
+			sum = 0;
+			cur = b;
+			while (cur) {
+				sum += (int)cur->data;
+				cur = cur->link;
+			}
+			return sum % 128;
+		}
+	`
+	p, _, _, _ := stopSectioned(t, src)
+	if _, err := p.CaptureSections(1); err != nil {
+		t.Fatal(err)
+	}
+	comps := 0
+	for _, s := range p.SectionCaptureMetrics() {
+		if s.Kind == "heap" {
+			comps++
+		}
+	}
+	if comps != 1 {
+		t.Errorf("heap components = %d, want 1 (lists share their tail)", comps)
+	}
+}
+
+func TestSectionedRestoreRoundTrip(t *testing.T) {
+	p, prog, v1, want := stopSectioned(t, workload.ShardedListsSource(4, 30))
+	v3, err := p.CaptureSections(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dst := range []*arch.Machine{arch.Ultra5, arch.I386, arch.AMD64} {
+		q, err := RestoreProcess(prog, dst, v3)
+		if err != nil {
+			t.Fatalf("restore on %s: %v", dst.Name, err)
+		}
+		re, err := q.Recapture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re, v1) {
+			t.Errorf("%s: recaptured v1 state differs from the source's direct capture", dst.Name)
+		}
+		if len(q.SectionRestoreMetrics()) == 0 {
+			t.Errorf("%s: no per-section restore metrics recorded", dst.Name)
+		}
+		q.Stdout = &bytes.Buffer{}
+		q.MaxSteps = 50_000_000
+		res, err := q.Run()
+		if err != nil {
+			t.Fatalf("resume on %s: %v", dst.Name, err)
+		}
+		if res.Migrated || res.ExitCode != want {
+			t.Errorf("%s: resumed run = %+v, want exit %d", dst.Name, res, want)
+		}
+	}
+}
+
+func TestSectionedRejectsCorruption(t *testing.T) {
+	p, prog, _, _ := stopSectioned(t, workload.ShardedListsSource(3, 20))
+	v3, err := p.CaptureSections(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("body flip", func(t *testing.T) {
+		mut := append([]byte(nil), v3...)
+		mut[len(mut)/2] ^= 0x20
+		_, err := RestoreProcess(prog, arch.I386, mut)
+		if err == nil {
+			t.Fatal("corrupted snapshot restored without error")
+		}
+		if !errors.Is(err, snapshot.ErrChecksum) && !errors.Is(err, collect.ErrCorruptStream) {
+			t.Errorf("err = %v, want a checksum/corrupt-stream error", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := RestoreProcess(prog, arch.I386, v3[:len(v3)-6]); err == nil {
+			t.Fatal("truncated snapshot restored without error")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		mut := append([]byte(nil), v3...)
+		mut[3] ^= 0xff
+		if _, err := RestoreProcess(prog, arch.I386, mut); err == nil {
+			t.Fatal("bad-magic snapshot restored without error")
+		}
+	})
+	t.Run("missing globals", func(t *testing.T) {
+		// Drop the final (globals) section but keep the framing valid:
+		// reparse and re-encode all sections except the last.
+		rd, err := snapshot.NewReader(xdr.NewDecoder(v3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		secs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		short := snapshot.Encode(secs[:len(secs)-1])
+		if _, err := RestoreProcess(prog, arch.I386, short); !errors.Is(err, collect.ErrCorruptStream) {
+			t.Errorf("err = %v, want ErrCorruptStream", err)
+		}
+	})
+}
+
+func TestSectionedRejectsWrongProgram(t *testing.T) {
+	p, _, _, _ := stopSectioned(t, workload.ShardedListsSource(3, 20))
+	v3, err := p.CaptureSections(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := minic.Compile(`
+		int main() {
+			int i, s;
+			s = 0;
+			for (i = 0; i < 50; i++) { s += i; }
+			return s % 97;
+		}
+	`, minic.PollPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreProcess(other, arch.I386, v3); !errors.Is(err, collect.ErrMismatch) {
+		t.Errorf("err = %v, want ErrMismatch", err)
+	}
+}

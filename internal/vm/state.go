@@ -9,6 +9,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/memory"
 	"repro/internal/minic"
+	"repro/internal/snapshot"
 	"repro/internal/xdr"
 )
 
@@ -77,6 +78,31 @@ func (p *Process) CaptureTo(enc *xdr.Encoder) error {
 	return p.captureStateTo(enc, site)
 }
 
+// captureSites resolves the site every active frame is stopped at:
+// innermost is the poll-point that triggered this migration; each outer
+// frame is at the call statement through which control entered the next
+// frame; a restored-but-not-yet-resumed process is still at the sites the
+// stream recorded.
+func (p *Process) captureSites(innermost *minic.Site) ([]*minic.Site, error) {
+	sites := make([]*minic.Site, len(p.frames))
+	for i, f := range p.frames {
+		var site *minic.Site
+		switch {
+		case i == len(p.frames)-1:
+			site = innermost
+		case f.curSite != nil:
+			site = f.curSite
+		case len(p.resumeSites) == len(p.frames):
+			site = p.resumeSites[i]
+		}
+		if site == nil {
+			return nil, fmt.Errorf("vm: frame %d (%s) has no active migration site", f.Depth, f.Fn.Name)
+		}
+		sites[i] = site
+	}
+	return sites, nil
+}
+
 // stoppedSite resolves the migration site this process is stopped at.
 func (p *Process) stoppedSite() (*minic.Site, error) {
 	site := p.lastSite
@@ -107,28 +133,15 @@ func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
 func (p *Process) captureStateTo(enc *xdr.Encoder, innermost *minic.Site) error {
 	p.lastSite = innermost
 	captureStart := time.Now()
+	sites, err := p.captureSites(innermost)
+	if err != nil {
+		return err
+	}
 	enc.PutUint32(execMagic)
 	enc.PutUint32(uint32(len(p.frames)))
-
-	sites := make([]*minic.Site, len(p.frames))
 	for i, f := range p.frames {
-		var site *minic.Site
-		switch {
-		case i == len(p.frames)-1:
-			site = innermost
-		case f.curSite != nil:
-			site = f.curSite
-		case len(p.resumeSites) == len(p.frames):
-			// A restored-but-not-yet-resumed process: the outer frames
-			// are still stopped at the sites the stream recorded.
-			site = p.resumeSites[i]
-		}
-		if site == nil {
-			return fmt.Errorf("vm: frame %d (%s) has no active migration site", f.Depth, f.Fn.Name)
-		}
-		sites[i] = site
 		enc.PutString(f.Fn.Name)
-		enc.PutUint32(uint32(site.ID))
+		enc.PutUint32(uint32(sites[i].ID))
 	}
 
 	saver := collect.NewSaver(p.Space, p.Table, p.TI, enc)
@@ -188,7 +201,15 @@ func (p *Process) restoreState(state []byte) error {
 	restoreStart := time.Now()
 	dec := xdr.NewDecoder(state)
 	magic, err := dec.Uint32()
-	if err != nil || magic != execMagic {
+	if err != nil {
+		return fmt.Errorf("vm: bad execution state header")
+	}
+	if magic == snapshot.Magic {
+		// A sectioned (v3) snapshot; both formats restore through this
+		// entry point, distinguished by their leading magic.
+		return p.restoreSectioned(state, restoreStart)
+	}
+	if magic != execMagic {
 		return fmt.Errorf("vm: bad execution state header")
 	}
 	nframes, err := dec.Uint32()

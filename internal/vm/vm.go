@@ -26,6 +26,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/minic"
 	"repro/internal/msr"
+	"repro/internal/stats"
 	"repro/internal/types"
 )
 
@@ -130,6 +131,12 @@ type Process struct {
 	captureStats   StateStats
 	restoreStats   collect.RestoreStats
 	restoreElapsed time.Duration
+
+	// Per-section cost profiles of the last sectioned (v3) capture and
+	// restore, empty when the monolithic format was used.
+	sectionCapture stats.SectionBreakdown
+	sectionRestore stats.SectionBreakdown
+	sectionWorkers int
 
 	globalAddrs []memory.Address
 	frames      []*Frame

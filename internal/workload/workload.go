@@ -528,3 +528,65 @@ int main() {
 }
 `, sweeps, n, n, n*n, n*n, n, sweeps)
 }
+
+// ShardedListsSource returns a program building nlists independent linked
+// lists of nnodes payload-heavy nodes each. No pointer ever crosses from
+// one list into another, so the heap partitions into exactly nlists
+// connected components — the workload behind the parallel sectioned
+// collection experiment. The lists hang off a global pointer array (not a
+// heap-allocated root block, which would fuse every list into one
+// component). A checksum computed before the migration point is verified
+// after it; exit 0 means every payload survived bit-exactly.
+func ShardedListsSource(nlists, nnodes int) string {
+	return fmt.Sprintf(`
+/* sharded_lists: %d independent lists x %d nodes, 16 doubles per node. */
+
+struct node {
+	double pay[16];
+	struct node *next;
+};
+
+struct node *heads[%d];
+double checksum;
+
+int main() {
+	int i, j, k;
+	struct node *c;
+	double sum;
+
+	for (k = 0; k < %d; k++) {
+		heads[k] = 0;
+		for (i = 0; i < %d; i++) {
+			c = (struct node *) malloc(sizeof(struct node));
+			for (j = 0; j < 16; j++) {
+				c->pay[j] = k * 1000.0 + i + j * 0.5;
+			}
+			c->next = heads[k];
+			heads[k] = c;
+		}
+	}
+	sum = 0.0;
+	for (k = 0; k < %d; k++) {
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) sum += c->pay[j];
+			c = c->next;
+		}
+	}
+	checksum = sum;
+
+	migrate_here();
+
+	sum = 0.0;
+	for (k = 0; k < %d; k++) {
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) sum += c->pay[j];
+			c = c->next;
+		}
+	}
+	if (sum != checksum) return 1;
+	return 0;
+}
+`, nlists, nnodes, nlists, nlists, nnodes, nlists, nlists)
+}
