@@ -16,25 +16,30 @@ import (
 	"path/filepath"
 
 	"repro/internal/exper"
+	"repro/internal/obs"
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
-	jsonOut := flag.Bool("json", false, "also write each experiment's rows as BENCH_<exp>.json")
+	jsonOut := flag.Bool("json", false, "also write each experiment's rows as BENCH_<exp>.json (obs report schema)")
 	flag.Parse()
 
 	cfg := exper.Config{Quick: *quick, Repeats: *repeats}
 	run := func(name string) bool { return *expName == "all" || *expName == name }
 	failed := false
-	writeJSON := func(exp string, rows any) {
+	// Every BENCH_*.json is an obs.Report: the experiment's rows, the
+	// process-wide metrics snapshot, and (when the experiment produced
+	// them) span trees — one schema for migbench and migd's /metrics.
+	writeReport := func(exp string, rows any, spans []*obs.SpanData) {
 		if !*jsonOut {
 			return
 		}
+		rep := obs.NewReport(exp, rows).WithMetrics(obs.Default).WithSpans(spans)
 		name := fmt.Sprintf("BENCH_%s.json", exp)
-		b, err := json.MarshalIndent(rows, "", "  ")
+		b, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fail(err)
 		}
@@ -43,6 +48,7 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n\n", name)
 	}
+	writeJSON := func(exp string, rows any) { writeReport(exp, rows, nil) }
 
 	if run("hetero") {
 		rows, err := exper.Heterogeneity(cfg)
@@ -192,6 +198,23 @@ func main() {
 			if !r.Identical || r.ExitCode != 0 {
 				failed = true
 			}
+		}
+	}
+	if run("obs") {
+		rows, err := exper.ObsOverhead(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintObsOverhead(os.Stdout, rows)
+		tr, err := exper.ObsTrace(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintObsTrace(os.Stdout, tr)
+		spans := append(append([]*obs.SpanData{}, tr.Initiator...), tr.Responder...)
+		writeReport("obs", map[string]any{"overhead": rows, "trace": tr}, spans)
+		if tr.ExitCode != 0 {
+			failed = true
 		}
 	}
 

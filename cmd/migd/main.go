@@ -32,6 +32,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/vm"
 )
@@ -60,6 +63,8 @@ type options struct {
 	retryTimeout   time.Duration
 	maxConcurrent  int
 	sessionTimeout time.Duration
+	pprofAddr      string
+	trace          bool
 }
 
 // namedEngine pairs a compiled engine with its registry name (the program
@@ -108,6 +113,8 @@ func main() {
 	retryTimeout := fs.Duration("retry-timeout", 30*time.Second, "run: give up redialing after this long")
 	maxConcurrent := fs.Int("max-concurrent", 4, "serve: migrations handled simultaneously")
 	sessionTimeout := fs.Duration("session-timeout", 2*time.Minute, "serve: per-session wall-time bound, handshake through restoration (0 disables)")
+	pprofAddr := fs.String("pprof", "", "serve: HTTP address for net/http/pprof and the /metrics JSON endpoint (empty disables)")
+	trace := fs.Bool("trace", false, "serve: log a per-session phase-span tree after each session")
 	fs.Parse(os.Args[2:])
 
 	m := lookupMachine(*machineName)
@@ -124,6 +131,8 @@ func main() {
 		retryTimeout:   *retryTimeout,
 		maxConcurrent:  *maxConcurrent,
 		sessionTimeout: *sessionTimeout,
+		pprofAddr:      *pprofAddr,
+		trace:          *trace,
 	}
 	if mode == "serve" {
 		serve(engines, m, opts)
@@ -136,6 +145,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
+             [-pprof HOST:PORT] [-trace]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
              [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]`)
 	os.Exit(2)
@@ -231,12 +241,26 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		names = append(names, fmt.Sprintf("%s(%08x)", ne.name, ne.engine.Digest()))
 	}
 
+	if o.pprofAddr != "" {
+		// Diagnostics endpoint: net/http/pprof registers its handlers on
+		// http.DefaultServeMux at import; /metrics serves the default obs
+		// registry as the shared JSON report schema.
+		http.Handle("/metrics", obs.MetricsHandler(nil))
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "[migd %s] pprof endpoint: %v\n", m.Name, err)
+			}
+		}()
+		fmt.Printf("[migd %s] pprof and /metrics on http://%s\n", m.Name, o.pprofAddr)
+	}
+
 	d := &session.Daemon{
 		Registry:      reg,
 		Mach:          m,
 		Config:        o.sessionConfig(),
 		MaxConcurrent: o.maxConcurrent,
 		Timeout:       o.sessionTimeout,
+		Trace:         o.trace,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[migd %s] %s\n", m.Name, fmt.Sprintf(format, args...))
 		},
@@ -273,6 +297,9 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		os.Exit(1)
 	}
 	fmt.Printf("[migd %s] drained: %s\n", m.Name, d.Counters().Snapshot())
+	if snap := obs.Default.Snapshot().String(); snap != "" {
+		fmt.Printf("[migd %s] metrics:\n%s", m.Name, snap)
+	}
 }
 
 // run executes the program locally until the N-th poll-point, then

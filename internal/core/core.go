@@ -26,6 +26,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/link"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/xdr"
 )
@@ -118,11 +119,17 @@ func (e *Engine) Open(envelope []byte) (state []byte, srcName string, err error)
 
 // Restore verifies an envelope and builds the resumed process on machine m.
 func (e *Engine) Restore(m *arch.Machine, envelope []byte) (*vm.Process, error) {
+	return e.RestoreObs(m, envelope, nil)
+}
+
+// RestoreObs is Restore with a parent span: the restore phases are
+// recorded as children of span (nil disables tracing).
+func (e *Engine) RestoreObs(m *arch.Machine, envelope []byte, span *obs.Span) (*vm.Process, error) {
 	state, _, err := e.Open(envelope)
 	if err != nil {
 		return nil, err
 	}
-	return vm.RestoreProcess(e.Prog, m, state)
+	return vm.RestoreProcessObs(e.Prog, m, state, span)
 }
 
 // SaveToFile seals a captured state and writes it as a framed file — the
@@ -194,12 +201,21 @@ func (e *Engine) Send(t link.Transport, src *arch.Machine, state []byte) (Timing
 // ReceiveAndRestore blocks for an envelope on the transport and restores
 // it on machine m.
 func (e *Engine) ReceiveAndRestore(t link.Transport, m *arch.Machine) (*vm.Process, Timing, error) {
+	return e.ReceiveAndRestoreObs(t, m, nil)
+}
+
+// ReceiveAndRestoreObs is ReceiveAndRestore recording the receive and
+// restore phases as children of span (nil disables tracing).
+func (e *Engine) ReceiveAndRestoreObs(t link.Transport, m *arch.Machine, span *obs.Span) (*vm.Process, Timing, error) {
+	rx := span.Child("transport")
 	env, err := t.Recv()
+	rx.SetBytes(int64(len(env)))
+	rx.End()
 	if err != nil {
 		return nil, Timing{}, err
 	}
 	start := time.Now()
-	p, err := e.Restore(m, env)
+	p, err := e.RestoreObs(m, env, span)
 	if err != nil {
 		return nil, Timing{}, err
 	}

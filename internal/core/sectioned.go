@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/vm"
 	"repro/internal/xdr"
@@ -77,7 +78,17 @@ func (e *Engine) SendSectionedOver(t link.Transport, src *arch.Machine, p *vm.Pr
 // ReceiveAndRestoreSectioned reassembles a sectioned envelope from r,
 // verifies it, and restores the process on machine m section by section.
 func (e *Engine) ReceiveAndRestoreSectioned(r *stream.Reader, m *arch.Machine) (*vm.Process, Timing, error) {
+	return e.ReceiveAndRestoreSectionedObs(r, m, nil)
+}
+
+// ReceiveAndRestoreSectionedObs is ReceiveAndRestoreSectioned recording
+// the reassembly and restore phases as children of span (nil disables
+// tracing).
+func (e *Engine) ReceiveAndRestoreSectionedObs(r *stream.Reader, m *arch.Machine, span *obs.Span) (*vm.Process, Timing, error) {
+	rx := span.Child("transport")
 	payload, err := r.ReadAll()
+	rx.SetBytes(int64(len(payload)))
+	rx.End()
 	if err != nil {
 		return nil, Timing{}, err
 	}
@@ -86,7 +97,7 @@ func (e *Engine) ReceiveAndRestoreSectioned(r *stream.Reader, m *arch.Machine) (
 		return nil, Timing{}, err
 	}
 	start := time.Now()
-	p, err := vm.RestoreProcess(e.Prog, m, state)
+	p, err := vm.RestoreProcessObs(e.Prog, m, state, span)
 	if err != nil {
 		return nil, Timing{}, err
 	}

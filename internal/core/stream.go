@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/vm"
 	"repro/internal/xdr"
@@ -90,7 +91,16 @@ func chunkSizeOf(cfg stream.Config) int {
 // ReceiveAndRestoreStream reassembles a streamed envelope from r, verifies
 // it, and restores the process on machine m.
 func (e *Engine) ReceiveAndRestoreStream(r *stream.Reader, m *arch.Machine) (*vm.Process, Timing, error) {
+	return e.ReceiveAndRestoreStreamObs(r, m, nil)
+}
+
+// ReceiveAndRestoreStreamObs is ReceiveAndRestoreStream recording the
+// reassembly and restore phases as children of span (nil disables tracing).
+func (e *Engine) ReceiveAndRestoreStreamObs(r *stream.Reader, m *arch.Machine, span *obs.Span) (*vm.Process, Timing, error) {
+	rx := span.Child("transport")
 	payload, err := r.ReadAll()
+	rx.SetBytes(int64(len(payload)))
+	rx.End()
 	if err != nil {
 		return nil, Timing{}, err
 	}
@@ -99,7 +109,7 @@ func (e *Engine) ReceiveAndRestoreStream(r *stream.Reader, m *arch.Machine) (*vm
 		return nil, Timing{}, err
 	}
 	start := time.Now()
-	p, err := vm.RestoreProcess(e.Prog, m, state)
+	p, err := vm.RestoreProcessObs(e.Prog, m, state, span)
 	if err != nil {
 		return nil, Timing{}, err
 	}

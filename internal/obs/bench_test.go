@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// BenchmarkObsSpanDisabled measures the disabled fast path: a nil span's
+// whole child/annotate/end sequence must compile down to nil-checks with
+// zero allocations — the cost an uninstrumented migration pays.
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("capture")
+		c := root.Child("encode")
+		c.SetSection("heap", 1)
+		c.SetBytes(1024)
+		c.End()
+		root.End()
+	}
+}
+
+// BenchmarkObsSpanEnabled is the enabled counterpart, for the on/off
+// comparison E10a reports.
+func BenchmarkObsSpanEnabled(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTracer()
+		root := tr.Start("capture")
+		c := root.Child("encode")
+		c.SetSection("heap", 1)
+		c.SetBytes(1024)
+		c.End()
+		root.End()
+	}
+}
+
+// BenchmarkObsCounterAdd measures the always-on bulk-flush cost: one
+// pre-resolved counter add, the per-capture price of the registry.
+func BenchmarkObsCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(64)
+	}
+}

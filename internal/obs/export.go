@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// ReportSchema names the JSON schema version shared by every obs export:
+// migbench's BENCH_*.json files and migd's /metrics endpoint both emit a
+// Report with this marker, so downstream tooling reads one format.
+const ReportSchema = "repro-obs/1"
+
+// SpanData is the exported (JSON) form of a Span. Times are microseconds:
+// StartUS is the span's offset from its root span's start, DurUS its
+// duration, so traces are machine-comparable without absolute clocks.
+type SpanData struct {
+	Name     string            `json:"name"`
+	Kind     string            `json:"kind,omitempty"`
+	ID       uint32            `json:"id,omitempty"`
+	StartUS  int64             `json:"start_us"`
+	DurUS    int64             `json:"dur_us"`
+	Bytes    int64             `json:"bytes,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*SpanData       `json:"children,omitempty"`
+}
+
+// Export converts the span tree to its JSON form, with start offsets
+// relative to s's own start.
+func (s *Span) Export() *SpanData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	base := s.start
+	s.mu.Unlock()
+	return s.export(base)
+}
+
+func (s *Span) export(base time.Time) *SpanData {
+	s.mu.Lock()
+	d := &SpanData{
+		Name:    s.name,
+		Kind:    s.kind,
+		ID:      s.id,
+		StartUS: s.start.Sub(base).Microseconds(),
+		Bytes:   s.bytes,
+	}
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	d.DurUS = dur.Microseconds()
+	if attrs := s.sortedAttrs(); len(attrs) > 0 {
+		d.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			d.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range children {
+		d.Children = append(d.Children, c.export(base))
+	}
+	return d
+}
+
+// Export converts every root span of the tracer.
+func (t *Tracer) Export() []*SpanData {
+	if t == nil {
+		return nil
+	}
+	roots := t.Roots()
+	out := make([]*SpanData, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.Export())
+	}
+	return out
+}
+
+// Report is the one obs schema every machine-readable export flows
+// through: experiment rows (BENCH_*.json), span trees (per-phase traces),
+// and a metrics snapshot, each optional.
+type Report struct {
+	Schema     string           `json:"schema"`
+	Experiment string           `json:"experiment,omitempty"`
+	Rows       any              `json:"rows,omitempty"`
+	Spans      []*SpanData      `json:"spans,omitempty"`
+	Metrics    *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// NewReport builds a Report with the schema marker set.
+func NewReport(experiment string, rows any) *Report {
+	return &Report{Schema: ReportSchema, Experiment: experiment, Rows: rows}
+}
+
+// WithMetrics attaches a registry snapshot and returns the report.
+func (r *Report) WithMetrics(reg *Registry) *Report {
+	snap := reg.Snapshot()
+	r.Metrics = &snap
+	return r
+}
+
+// WithSpans attaches exported span trees and returns the report.
+func (r *Report) WithSpans(spans []*SpanData) *Report {
+	r.Spans = spans
+	return r
+}
+
+// MetricsHandler serves reg as an obs Report at every request — the
+// daemon's /metrics endpoint. A nil registry serves Default.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r := reg
+		if r == nil {
+			r = Default
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(NewReport("", nil).WithMetrics(r))
+	})
+}

@@ -1,0 +1,313 @@
+// Package obs is the observability layer of the migration stack: span-based
+// phase timers, a monotonic counter/gauge registry, and exporters that
+// render either human-readable trees (the migd log) or JSON (one schema
+// shared by migbench's BENCH_*.json files and migd's /metrics endpoint).
+//
+// The paper's evaluation splits every migration into phases — collect,
+// encode, transport, restore — and attributes cost to each; Milanés et
+// al.'s reflection-based capture work and the x86/ARM migration study make
+// the same point: per-phase attribution is what makes a heterogeneous
+// migration tunable. This package turns that attribution from experiment
+// scaffolding into an always-available subsystem instrumenting all four
+// layers of the stack: xdr (encode/decode volume), stream (frames, acks,
+// redials, window occupancy), collect/vm (per-phase and per-section spans
+// on capture and restore), and session/migd (per-session traces with the
+// negotiated version and classified outcome).
+//
+// # Disabled cost
+//
+// Tracing is opt-in and nil-disabled: a nil *Tracer returns nil *Spans,
+// and every Span method is a nil-receiver no-op, so an uninstrumented
+// migration pays only pointer nil-checks — no allocations, no atomics, no
+// time syscalls. BenchmarkObsSpanDisabled and BenchmarkObsCaptureDisabled
+// (internal/vm) verify the fast path stays near zero.
+//
+// Counters are the opposite trade: always on, but updated in bulk — the
+// instrumented layers accumulate locally (a plain int in an encoder, a
+// stats struct in a stream writer) and flush one atomic add per capture,
+// restore, or transfer, so the registry's cost is independent of data
+// size.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed phase of a migration, possibly nested: a capture span
+// holds partition/encode children; an encode span holds one child per
+// snapshot section, carrying the section kind, id, and encoded bytes.
+//
+// All methods are safe on a nil receiver (the disabled fast path) and safe
+// for concurrent use, so a parent span can collect children from a worker
+// pool.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	kind     string
+	id       uint32
+	bytes    int64
+	attrs    []Attr
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// newSpan starts a live span.
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a nested span. On a nil receiver it returns nil, keeping
+// the whole subtree free.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End stops the span's clock. A second End is a no-op, so deferred and
+// explicit ends compose.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetBytes records the payload volume the span covered.
+func (s *Span) SetBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bytes = n
+	s.mu.Unlock()
+}
+
+// AddBytes accumulates payload volume (for spans fed incrementally).
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bytes += n
+	s.mu.Unlock()
+}
+
+// SetSection tags the span with a snapshot section identity.
+func (s *Span) SetSection(kind string, id uint32) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.kind = kind
+	s.id = id
+	s.mu.Unlock()
+}
+
+// SetAttr attaches (or replaces) a key/value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetDuration overrides the span's measured duration — used when a phase
+// was timed externally (a pre-measured section encode from a worker pool).
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dur = d
+	s.ended = true
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Bytes returns the recorded payload volume.
+func (s *Span) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Elapsed returns the span's duration: final after End, running before.
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns the nested spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Find returns the first descendant span (depth-first, including s) with
+// the given name, or nil — a test and reporting convenience.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name() == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Tracer owns the root spans of one traced unit of work — one migration
+// session, one experiment run. A nil *Tracer is the disabled tracer: Start
+// returns nil and the whole span tree degenerates to nil-checks.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Start opens a root span. Nil-safe.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := newSpan(name)
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the root spans in start order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// Tree renders every root span as a human-readable indented tree, the
+// rendering migd prints per session.
+func (t *Tracer) Tree() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, r := range t.Roots() {
+		writeTree(&b, r, 0)
+	}
+	return b.String()
+}
+
+// Tree renders the span and its descendants as an indented tree.
+func (s *Span) Tree() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeTree(&b, s, 0)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, s *Span, depth int) {
+	s.mu.Lock()
+	name, kind, id, bytes := s.name, s.kind, s.id, s.bytes
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	b.WriteString(strings.Repeat("  ", depth))
+	if kind != "" {
+		fmt.Fprintf(b, "%-10s %s #%d", name, kind, id)
+	} else {
+		fmt.Fprintf(b, "%-10s", name)
+	}
+	fmt.Fprintf(b, "  %10.4fms", float64(dur.Microseconds())/1000)
+	if bytes > 0 {
+		fmt.Fprintf(b, "  %10d B", bytes)
+	}
+	for _, a := range attrs {
+		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, c := range children {
+		writeTree(b, c, depth+1)
+	}
+}
+
+// sortedAttrs returns a copy of the attrs sorted by key for stable export.
+func (s *Span) sortedAttrs() []Attr {
+	s.mu.Lock()
+	out := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -2,6 +2,7 @@ package session
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -34,14 +35,18 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 		chunk:   uint32(cfg.ChunkSize),
 		window:  uint32(cfg.Window),
 	}
+	hs := cfg.Trace.Child("handshake")
 	if err := t.Send(marshalOffer(o)); err != nil {
+		hs.End()
 		return nil, fmt.Errorf("session: offer send: %w", err)
 	}
 	raw, err := t.Recv()
 	if err != nil {
+		hs.End()
 		return nil, fmt.Errorf("session: handshake read: %w", err)
 	}
 	m, err := parseMessage(raw)
+	hs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -53,6 +58,8 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 		return nil, fmt.Errorf("%w: expected ACCEPT or REJECT, got message type %d", ErrProtocol, m.typ)
 	}
 	prm := m.params
+	prm.Trace = cfg.Trace
+	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
 	path, err := pathFor(prm.Version)
 	if err != nil {
 		return nil, err
@@ -64,7 +71,9 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	timing.Collect = p.CaptureStats().Elapsed
 	// Only terminate the source once the destination holds a restored,
 	// runnable process.
+	confirm := cfg.Trace.Child("confirm")
 	raw, err = t.Recv()
+	confirm.End()
 	if err != nil {
 		return nil, fmt.Errorf("session: restoration confirm read: %w", err)
 	}

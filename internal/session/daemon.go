@@ -2,6 +2,8 @@ package session
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/vm"
 )
@@ -74,15 +77,19 @@ type Info struct {
 // confirms with RESTORED. A negotiation failure is reported to the peer
 // (REJECT) and returned.
 func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info, *vm.Process, core.Timing, error) {
+	hs := cfg.Trace.Child("handshake")
 	raw, err := t.Recv()
 	if err != nil {
+		hs.End()
 		return Info{}, nil, core.Timing{}, fmt.Errorf("session: handshake read: %w", err)
 	}
 	msg, err := parseMessage(raw)
 	if err != nil {
+		hs.End()
 		return Info{}, nil, core.Timing{}, err
 	}
 	if msg.typ != msgOffer {
+		hs.End()
 		return Info{}, nil, core.Timing{}, fmt.Errorf("%w: expected OFFER, got message type %d", ErrProtocol, msg.typ)
 	}
 	o := msg.offer
@@ -90,15 +97,22 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	if !ok {
 		err := fmt.Errorf("%w: digest %08x (program %q) not pre-distributed here", ErrUnknownProgram, o.digest, o.program)
 		t.Send(marshalReject(err.Error()))
+		hs.End()
 		return Info{}, nil, core.Timing{}, err
 	}
 	prm, err := negotiate(o, cfg)
 	if err != nil {
 		t.Send(marshalReject(err.Error()))
+		hs.End()
 		return Info{}, nil, core.Timing{}, err
 	}
+	prm.Trace = cfg.Trace
+	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
+	cfg.Trace.SetAttr("program", name)
 	info := Info{Program: name, SrcMachine: o.machine, Params: prm}
-	if err := t.Send(marshalAccept(prm)); err != nil {
+	err = t.Send(marshalAccept(prm))
+	hs.End()
+	if err != nil {
 		return info, nil, core.Timing{}, fmt.Errorf("session: accept send: %w", err)
 	}
 	path, err := pathFor(prm.Version)
@@ -109,7 +123,10 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	if err != nil {
 		return info, nil, core.Timing{}, err
 	}
-	if err := t.Send(marshalRestored(uint64(timing.Bytes))); err != nil {
+	confirm := cfg.Trace.Child("confirm")
+	err = t.Send(marshalRestored(uint64(timing.Bytes)))
+	confirm.End()
+	if err != nil {
 		return info, nil, core.Timing{}, fmt.Errorf("session: restored send: %w", err)
 	}
 	return info, p, timing, nil
@@ -139,6 +156,14 @@ type Daemon struct {
 	// with every successfully restored process. Typically it runs the
 	// process to completion. Nil leaves the process to the counters only.
 	OnRestored func(Info, *vm.Process, core.Timing)
+	// Metrics receives the daemon's lifecycle counters (session.accepted,
+	// session.restored, session.failed, session.bytes, and a
+	// session.fail.<class> counter per failure classification). Nil
+	// selects obs.Default — the registry /metrics serves.
+	Metrics *obs.Registry
+	// Trace enables per-session phase tracing: each session runs under
+	// its own span tree, rendered through Logf when the session ends.
+	Trace bool
 
 	counters stats.SessionCounters
 	nextID   atomic.Uint64
@@ -149,6 +174,14 @@ type Daemon struct {
 
 // Counters exposes the daemon's lifecycle counters.
 func (d *Daemon) Counters() *stats.SessionCounters { return &d.counters }
+
+// metrics resolves the registry the daemon publishes to.
+func (d *Daemon) metrics() *obs.Registry {
+	if d.Metrics != nil {
+		return d.Metrics
+	}
+	return obs.Default
+}
 
 func (d *Daemon) logf(format string, args ...any) {
 	if d.Logf != nil {
@@ -193,6 +226,7 @@ func (d *Daemon) Serve(l *link.Listener) error {
 			return err
 		}
 		d.counters.Accepted()
+		d.metrics().Counter("session.accepted").Inc()
 		sem <- struct{}{}
 		d.wg.Add(1)
 		go func() {
@@ -209,19 +243,45 @@ func (d *Daemon) handle(conn *link.Conn) {
 	if d.Timeout > 0 {
 		conn.SetDeadline(time.Now().Add(d.Timeout))
 	}
+	cfg := d.Config
+	var tr *obs.Tracer
+	if d.Trace {
+		tr = obs.NewTracer()
+		cfg.Trace = tr.Start("session")
+	}
 	start := time.Now()
-	info, p, timing, err := Respond(conn, d.Registry, d.Mach, d.Config)
+	info, p, timing, err := Respond(conn, d.Registry, d.Mach, cfg)
 	info.ID = id
+	reg := d.metrics()
 	if err != nil {
+		class := ClassifyFailure(err)
 		d.counters.Failed()
-		d.logf("session %d: failed (%s): %v", id, ClassifyFailure(err), err)
+		reg.Counter("session.failed").Inc()
+		reg.Counter("session.fail." + string(class)).Inc()
+		cfg.Trace.SetAttr("outcome", string(class))
+		cfg.Trace.End()
+		d.logf("session %d: failed (%s): %v", id, class, err)
+		d.logTrace(id, tr)
 		return
 	}
 	d.counters.Restored(timing.Bytes)
+	reg.Counter("session.restored").Inc()
+	reg.Counter("session.bytes").Add(int64(timing.Bytes))
+	cfg.Trace.SetAttr("outcome", "restored")
+	cfg.Trace.End()
 	d.logf("session %d: restored %q from %s (v%d, chunk %d, window %d): %d bytes in %.4fs",
 		id, info.Program, info.SrcMachine, info.Params.Version, info.Params.ChunkSize,
 		info.Params.Window, timing.Bytes, time.Since(start).Seconds())
+	d.logTrace(id, tr)
 	if d.OnRestored != nil {
 		d.OnRestored(info, p, timing)
 	}
+}
+
+// logTrace renders one completed session's span tree through Logf.
+func (d *Daemon) logTrace(id uint64, tr *obs.Tracer) {
+	if tr == nil || d.Logf == nil {
+		return
+	}
+	d.logf("session %d trace:\n%s", id, strings.TrimRight(tr.Tree(), "\n"))
 }

@@ -1,0 +1,69 @@
+package session
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzHandshake feeds arbitrary frames to the session-layer message
+// parser. A daemon reads these bytes straight off an accepted connection,
+// so parseMessage must reject anything malformed with an ErrProtocol-
+// classified error — never panic — and anything it accepts must survive a
+// re-marshal round trip.
+func FuzzHandshake(f *testing.F) {
+	of := offer{
+		minVer: 1, maxVer: 3, digest: 0xdeadbeef,
+		program: "list", machine: "sparc20", chunk: 4096, window: 8,
+	}
+	full := marshalOffer(of)
+	f.Add(full)
+	f.Add(marshalAccept(Params{Version: 2, ChunkSize: 65536, Window: 16}))
+	f.Add(marshalReject("session: no common protocol version"))
+	f.Add(marshalRestored(1 << 20))
+	f.Add(full[:6])           // truncated inside the type word
+	f.Add(full[:len(full)-3]) // truncated final field
+	f.Add([]byte{})           // empty frame
+	f.Add([]byte("MSES"))     // magic alone, big-endian text
+	corrupt := append([]byte(nil), full...)
+	corrupt[4] ^= 0xa5 // message type corruption
+	f.Add(corrupt)
+	huge := append([]byte(nil), full...)
+	huge[20] = 0xff // absurd program-string length
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseMessage(data)
+		if err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("unclassified parse error: %v", err)
+			}
+			return
+		}
+		// Accepted input: the decoded message must re-marshal to something
+		// the parser decodes to the same message.
+		var again []byte
+		switch m.typ {
+		case msgOffer:
+			again = marshalOffer(m.offer)
+		case msgAccept:
+			again = marshalAccept(m.params)
+		case msgReject:
+			again = marshalReject(m.reason)
+		case msgRestored:
+			again = marshalRestored(m.bytes)
+		default:
+			t.Fatalf("parser accepted unknown message type %d", m.typ)
+		}
+		m2, err := parseMessage(again)
+		if err != nil {
+			t.Fatalf("re-marshal rejected: %v", err)
+		}
+		if m2.typ != m.typ || m2.offer != m.offer || m2.reason != m.reason || m2.bytes != m.bytes {
+			t.Fatalf("re-marshal round trip differs: %+v vs %+v", m2, m)
+		}
+		if m2.params.Version != m.params.Version || m2.params.ChunkSize != m.params.ChunkSize ||
+			m2.params.Window != m.params.Window {
+			t.Fatalf("re-marshal params differ: %+v vs %+v", m2.params, m.params)
+		}
+	})
+}

@@ -40,16 +40,21 @@ func pathFor(version uint32) (Path, error) {
 // one envelope, one blocking send.
 type monoPath struct{}
 
-func (monoPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, _ Params) (core.Timing, error) {
+func (monoPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	p.Obs = prm.Trace
 	state, err := p.Recapture()
 	if err != nil {
 		return core.Timing{}, err
 	}
-	return e.Send(t, src, state)
+	tx := prm.Trace.Child("transport")
+	tim, err := e.Send(t, src, state)
+	tx.SetBytes(int64(tim.Bytes))
+	tx.End()
+	return tim, err
 }
 
-func (monoPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, _ Params) (*vm.Process, core.Timing, error) {
-	return e.ReceiveAndRestore(t, m)
+func (monoPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
+	return e.ReceiveAndRestoreObs(t, m, prm.Trace)
 }
 
 // streamPath is the pipelined transfer: the snapshot flows through the
@@ -61,13 +66,21 @@ func (streamPath) config(prm Params) stream.Config {
 }
 
 func (sp streamPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	p.Obs = prm.Trace
 	w := stream.NewWriter(t, sp.config(prm))
-	return e.SendStream(w, src, p, prm.ChunkSize)
+	// Collection overlaps transmission on this path, so the "transport"
+	// span covers the whole pipelined phase; the nested "collect" span
+	// (from CaptureTo) shows the producer's share.
+	tx := prm.Trace.Child("transport")
+	tim, err := e.SendStream(w, src, p, prm.ChunkSize)
+	tx.SetBytes(int64(tim.Bytes))
+	tx.End()
+	return tim, err
 }
 
 func (sp streamPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
 	r := stream.NewReader(t, sp.config(prm))
-	return e.ReceiveAndRestoreStream(r, m)
+	return e.ReceiveAndRestoreStreamObs(r, m, prm.Trace)
 }
 
 // sectionedPath carries a sectioned (v3) snapshot — heap components
@@ -80,14 +93,19 @@ func (sectionedPath) config(prm Params) stream.Config {
 }
 
 func (sp sectionedPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	p.Obs = prm.Trace
 	w := stream.NewWriter(t, sp.config(prm))
 	// workers 0 = GOMAXPROCS; the worker count is a local collection
 	// choice, not a negotiated parameter — the snapshot bytes are
 	// identical for any count.
-	return e.SendSectioned(w, src, p, prm.ChunkSize, 0)
+	tx := prm.Trace.Child("transport")
+	tim, err := e.SendSectioned(w, src, p, prm.ChunkSize, 0)
+	tx.SetBytes(int64(tim.Bytes))
+	tx.End()
+	return tim, err
 }
 
 func (sp sectionedPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
 	r := stream.NewReader(t, sp.config(prm))
-	return e.ReceiveAndRestoreSectioned(r, m)
+	return e.ReceiveAndRestoreSectionedObs(r, m, prm.Trace)
 }

@@ -48,6 +48,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xdr"
 )
 
@@ -90,6 +91,10 @@ type Config struct {
 	// minimum of both sides'. Zero selects the stream-layer defaults.
 	ChunkSize int
 	Window    int
+	// Trace, when set, receives one child span per session phase
+	// (handshake, collect, transport, restore, confirm). Purely local:
+	// it never crosses the wire and nil disables tracing.
+	Trace *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +121,10 @@ type Params struct {
 	// same values, so no operator flag-matching is needed.
 	ChunkSize int
 	Window    int
+	// Trace is the session span the selected path hangs its phase spans
+	// off. Local plumbing only — it is never marshalled, and each side
+	// sets its own from Config.Trace after negotiation.
+	Trace *obs.Span
 }
 
 // offer is the decoded OFFER message.

@@ -16,6 +16,8 @@ type ReaderStats struct {
 	// Duplicates counts chunks discarded because they re-arrived after a
 	// resume or rewind.
 	Duplicates int
+	// Acks counts acknowledgement watermarks sent back to the sender.
+	Acks int
 	// Nacks counts corrupt chunks converted into re-requests.
 	Nacks int
 	// Reconnects counts transports consumed after mid-stream failures.
@@ -153,6 +155,7 @@ func (r *Reader) Next() ([]byte, error) {
 			r.stats.Chunks++
 			r.stats.Bytes = r.bytes
 			if int(r.nextSeq)%r.cfg.AckEvery == 0 {
+				r.stats.Acks++
 				if err := r.send(marshalSeq(msgAck, r.nextSeq)); err != nil {
 					// The chunk is already accounted; it must still be
 					// delivered below. The lost acknowledgement is
@@ -185,6 +188,7 @@ func (r *Reader) Next() ([]byte, error) {
 				return nil, fmt.Errorf("stream: done send: %w", err)
 			}
 			r.eof = true
+			r.stats.flush()
 			return nil, io.EOF
 		default:
 			return nil, fmt.Errorf("%w: unexpected %d message from sender", ErrProtocol, m.typ)

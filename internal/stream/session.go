@@ -161,6 +161,7 @@ func (s *Session) Close() error {
 	<-s.finished
 	s.stats.CloseWait = time.Since(start)
 	s.stats.Bytes = s.bytes
+	s.stats.flush()
 	return s.Err()
 }
 
@@ -350,6 +351,7 @@ func (s *Session) pump() {
 				continue
 			}
 			retained = append(retained, c)
+			mWindow.Set(int64(len(retained)))
 			if err := sendData(c); err != nil {
 				if !reconnect(err) {
 					return

@@ -184,6 +184,7 @@ func (w *Writer) cut() error {
 		}
 	}
 	w.stats.StallTime += time.Since(start)
+	mWindow.Set(int64(len(w.sendq)))
 	return w.Err()
 }
 
@@ -198,5 +199,6 @@ func (w *Writer) Close() error {
 	<-w.done
 	w.stats.CloseWait = time.Since(start)
 	w.stats.Bytes = w.bytes
+	w.stats.flush()
 	return w.Err()
 }

@@ -1,0 +1,36 @@
+package vm
+
+import (
+	"repro/internal/obs"
+	"repro/internal/xdr"
+)
+
+// Pre-resolved handles into the default registry. The XDR encoder and
+// decoder count their operations in plain ints (xdr.Encoder.Calls,
+// xdr.Decoder.Calls); the VM flushes them here once per capture or
+// restore, so the byte-packing hot path never touches an atomic.
+var (
+	mCaptures    = obs.Default.Counter("vm.captures")
+	mRestores    = obs.Default.Counter("vm.restores")
+	mEncodeCalls = obs.Default.Counter("xdr.encode.calls")
+	mEncodeBytes = obs.Default.Counter("xdr.encode.bytes")
+	mDecodeCalls = obs.Default.Counter("xdr.decode.calls")
+	mDecodeBytes = obs.Default.Counter("xdr.decode.bytes")
+)
+
+// flushCapture publishes one completed capture's encoder counters. The
+// calls figure is the top-level snapshot encoder's: section bodies built
+// by pool workers on private encoders appear as the single PutFixedOpaque
+// that splices each into the stream.
+func flushCapture(enc *xdr.Encoder) {
+	mCaptures.Inc()
+	mEncodeCalls.Add(int64(enc.Calls()))
+	mEncodeBytes.Add(int64(enc.Len()))
+}
+
+// flushRestore publishes one completed restore's decoder counters.
+func flushRestore(calls, bytes int) {
+	mRestores.Inc()
+	mDecodeCalls.Add(int64(calls))
+	mDecodeBytes.Add(int64(bytes))
+}

@@ -14,6 +14,7 @@ package vm
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/collect"
@@ -61,6 +62,9 @@ func (p *Process) CaptureSectionsTo(enc *xdr.Encoder, workers int) error {
 func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, workers int) error {
 	p.lastSite = innermost
 	start := time.Now()
+	span := p.Obs.Child("collect")
+	span.SetAttr("format", "sectioned")
+	defer span.End()
 	sites, err := p.captureSites(innermost)
 	if err != nil {
 		return err
@@ -70,14 +74,19 @@ func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, wor
 	baseSearches := p.Table.Stats.Searches
 	baseSteps := p.Table.Stats.SearchSteps
 
+	partSpan := span.Child("partition")
 	pt, err := collect.BuildPartition(p.Space, p.Table, p.TI, roots)
+	partSpan.End()
 	if err != nil {
 		return err
 	}
+	encSpan := span.Child("encode")
 	st, err := collect.EncodeSections(p.Space, p.Table, p.TI, pt, roots, workers)
+	encSpan.End()
 	if err != nil {
 		return err
 	}
+	encSpan.SetAttr("workers", strconv.Itoa(st.Workers))
 
 	// The execution-state section: frame count, then per frame the
 	// function name and stopped site (the v1 exec header minus its magic;
@@ -104,6 +113,12 @@ func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, wor
 			Bytes:   len(s.Body),
 			Elapsed: elapsed,
 		})
+		// Section encoding already ran (possibly on pool workers); record
+		// each as a child with its measured duration rather than wall time.
+		c := span.Child("section")
+		c.SetSection(s.Kind.String(), s.ID)
+		c.SetBytes(int64(len(s.Body)))
+		c.SetDuration(elapsed)
 	}
 	appendSec(snapshot.Section{Kind: snapshot.KindExec, Body: execBody}, execElapsed)
 	for i, h := range st.Heap {
@@ -126,6 +141,8 @@ func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, wor
 	}
 	p.sectionCapture = breakdown
 	p.sectionWorkers = st.Workers
+	span.SetBytes(int64(enc.Len()))
+	flushCapture(enc)
 	return nil
 }
 
@@ -154,6 +171,9 @@ func (p *Process) liveRoots(sites []*minic.Site) collect.Roots {
 // which guarantees every flat reference a section decodes resolves
 // against blocks already registered.
 func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
+	span := p.Obs.Child("restore")
+	span.SetAttr("format", "sectioned")
+	defer span.End()
 	dec := xdr.NewDecoder(state)
 	rd, err := snapshot.NewReader(dec)
 	if err != nil {
@@ -237,12 +257,17 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 			return fmt.Errorf("vm: restoring %s section %d: %w", sec.Kind, sec.ID, err)
 		}
 		total.Add(rs)
+		secElapsed := time.Since(secStart)
 		breakdown = append(breakdown, stats.SectionMetric{
 			Kind:    sec.Kind.String(),
 			ID:      sec.ID,
 			Bytes:   len(sec.Body),
-			Elapsed: time.Since(secStart),
+			Elapsed: secElapsed,
 		})
+		c := span.Child("section")
+		c.SetSection(sec.Kind.String(), sec.ID)
+		c.SetBytes(int64(len(sec.Body)))
+		c.SetDuration(secElapsed)
 	}
 	for d := 1; d <= nframes; d++ {
 		if !framesSeen[d-1] {
@@ -261,6 +286,8 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 	p.restoreStats = total
 	p.restoreElapsed = time.Since(restoreStart)
 	p.sectionRestore = breakdown
+	span.SetBytes(int64(len(state)))
+	flushRestore(dec.Calls(), len(state))
 	return nil
 }
 

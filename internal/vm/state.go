@@ -9,6 +9,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/memory"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/snapshot"
 	"repro/internal/xdr"
 )
@@ -133,6 +134,9 @@ func (p *Process) captureState(innermost *minic.Site) ([]byte, error) {
 func (p *Process) captureStateTo(enc *xdr.Encoder, innermost *minic.Site) error {
 	p.lastSite = innermost
 	captureStart := time.Now()
+	span := p.Obs.Child("collect")
+	span.SetAttr("format", "mono")
+	defer span.End()
 	sites, err := p.captureSites(innermost)
 	if err != nil {
 		return err
@@ -169,6 +173,13 @@ func (p *Process) captureStateTo(enc *xdr.Encoder, innermost *minic.Site) error 
 		Bytes:   enc.Len(),
 		Elapsed: time.Since(captureStart),
 	}
+	// A monolithic capture supersedes any earlier sectioned one; clear the
+	// per-section profile so SectionCaptureMetrics honours its "empty if
+	// the last capture was monolithic" contract.
+	p.sectionCapture = nil
+	p.sectionWorkers = 0
+	span.SetBytes(int64(enc.Len()))
+	flushCapture(enc)
 	return nil
 }
 
@@ -176,10 +187,17 @@ func (p *Process) captureStateTo(enc *xdr.Encoder, innermost *minic.Site) error 
 // prepares it to resume. Run() continues execution from the migration
 // point.
 func RestoreProcess(prog *minic.Program, m *arch.Machine, state []byte) (*Process, error) {
+	return RestoreProcessObs(prog, m, state, nil)
+}
+
+// RestoreProcessObs is RestoreProcess with a parent span: the restore
+// phases are recorded as children of span (a nil span disables tracing).
+func RestoreProcessObs(prog *minic.Program, m *arch.Machine, state []byte, span *obs.Span) (*Process, error) {
 	p, err := NewProcess(prog, m)
 	if err != nil {
 		return nil, err
 	}
+	p.Obs = span
 	if err := p.restoreState(state); err != nil {
 		return nil, err
 	}
@@ -212,6 +230,9 @@ func (p *Process) restoreState(state []byte) error {
 	if magic != execMagic {
 		return fmt.Errorf("vm: bad execution state header")
 	}
+	span := p.Obs.Child("restore")
+	span.SetAttr("format", "mono")
+	defer span.End()
 	nframes, err := dec.Uint32()
 	if err != nil {
 		return err
@@ -265,6 +286,8 @@ func (p *Process) restoreState(state []byte) error {
 	p.resumeSites = sites
 	p.restoreStats = restorer.Stats
 	p.restoreElapsed = time.Since(restoreStart)
+	span.SetBytes(int64(len(state)))
+	flushRestore(dec.Calls(), len(state))
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/minic"
 	"repro/internal/msr"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/types"
 )
@@ -121,6 +122,11 @@ type Process struct {
 
 	// Instrument enables fine-grained timing in capture/restore stats.
 	Instrument bool
+
+	// Obs, when set, receives one child span per capture/restore phase
+	// (partition, encode, per-section work). Nil disables tracing at the
+	// cost of a nil-check — the default.
+	Obs *obs.Span
 
 	// trace, when set via TraceTo, receives one line per executed
 	// statement and per call/return/migration event.

@@ -39,6 +39,11 @@ type Encoder struct {
 	sinkErr       error
 	// flushed counts bytes already handed to the sink.
 	flushed int
+	// calls counts Put/Grow operations, the encoder's observability
+	// counter. A plain int incremented on the grow path: the owner of the
+	// encoder flushes it to a metrics registry in bulk, so the hot path
+	// never touches an atomic.
+	calls int
 }
 
 // NewEncoder returns an encoder whose buffer has the given initial capacity.
@@ -100,9 +105,15 @@ func (e *Encoder) Reset() {
 	e.buf = e.buf[:0]
 	e.flushed = 0
 	e.sinkErr = nil
+	e.calls = 0
 }
 
+// Calls returns the number of encode operations (Put/Grow calls) performed
+// since creation or Reset — the call counter the obs layer aggregates.
+func (e *Encoder) Calls() int { return e.calls }
+
 func (e *Encoder) grow(n int) []byte {
+	e.calls++
 	// All bytes currently buffered were filled by completed Put/Grow calls
 	// (a Grow caller fills its slice before the next encoder call), so the
 	// prefix is complete and may be streamed out before appending.
@@ -256,6 +267,9 @@ func (e *Encoder) SegmentHint() int {
 type Decoder struct {
 	buf []byte
 	off int
+	// calls counts decode operations (take calls); like Encoder.calls it
+	// is a plain int the owner flushes to a registry in bulk.
+	calls int
 }
 
 // NewDecoder returns a decoder reading from p. The decoder does not copy p.
@@ -267,8 +281,13 @@ func (d *Decoder) Offset() int { return d.off }
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 
+// Calls returns the number of decode operations performed so far — the
+// call counter the obs layer aggregates.
+func (d *Decoder) Calls() int { return d.calls }
+
 // take consumes n bytes from the stream.
 func (d *Decoder) take(n int) ([]byte, error) {
+	d.calls++
 	if n < 0 || d.off+n > len(d.buf) {
 		return nil, ErrShortBuffer
 	}

@@ -1,0 +1,85 @@
+package repro
+
+// Smoke tests for the shipped binaries: every command under cmd/ and
+// examples/ must build, and the two walk-through examples (quickstart,
+// checkpoint) must run end to end with the output the README promises.
+// These shell out to the go tool, so they skip under -short and when no
+// go binary is on PATH (e.g. a stripped test container).
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goTool(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("smoke test shells out to the go tool; skipped in -short")
+	}
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	return path
+}
+
+// TestSmokeBuildAll builds every cmd/ and examples/ binary.
+func TestSmokeBuildAll(t *testing.T) {
+	gobin := goTool(t)
+	dir := t.TempDir()
+	cmd := exec.Command(gobin, "build", "-o", dir+string(filepath.Separator),
+		"./cmd/...", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/... ./examples/...: %v\n%s", err, out)
+	}
+	bins, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) < 5 {
+		t.Fatalf("built only %d binaries (%v), want the full cmd/ + examples/ set", len(bins), bins)
+	}
+}
+
+// runExample go-runs one example and returns its combined output.
+func runExample(t *testing.T, pkg string) string {
+	t.Helper()
+	gobin := goTool(t)
+	out, err := exec.Command(gobin, "run", pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s: %v\n%s", pkg, err, out)
+	}
+	return string(out)
+}
+
+// TestSmokeQuickstart runs the README's minimal migration end to end.
+func TestSmokeQuickstart(t *testing.T) {
+	out := runExample(t, "./examples/quickstart")
+	for _, want := range []string{
+		"sum of squares = 333833500",
+		"migrated 160 bytes of state",
+		"exit code 0 on sparc20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSmokeCheckpoint runs the cross-architecture checkpoint/restart
+// example end to end.
+func TestSmokeCheckpoint(t *testing.T) {
+	out := runExample(t, "./examples/checkpoint")
+	for _, want := range []string{
+		"checkpointed on amd64",
+		"sum of 1/n^2 over 200000 terms = 1.644929",
+		"restarted on sparcv9, completed with exit code 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("checkpoint output missing %q:\n%s", want, out)
+		}
+	}
+}
