@@ -6,6 +6,7 @@
 // Usage:
 //
 //	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead] [-quick] [-repeats N] [-json]
+//	         [-trace-dir DIR]
 package main
 
 import (
@@ -20,11 +21,12 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows as BENCH_<exp>.json (obs report schema)")
+	traceDir := flag.String("trace-dir", "", "write each stitched trace as trace-<id>.json into this directory")
 	flag.Parse()
 
 	cfg := exper.Config{Quick: *quick, Repeats: *repeats}
@@ -217,6 +219,25 @@ func main() {
 			failed = true
 		}
 	}
+	if run("obs2") {
+		st, err := exper.ObsStitched(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintObsStitched(os.Stdout, st)
+		orows, err := exper.ObsTracingOverhead(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintObsTracingOverhead(os.Stdout, orows)
+		writeReport("obs2", map[string]any{"stitched": st, "overhead": orows}, st.Trace)
+		writeTrace(*traceDir, st)
+		// The stitched trace is structural; the overhead budget is
+		// reported, not enforced (timing noise — see E10a).
+		if st.ExitCode != 0 || !st.Stitched {
+			failed = true
+		}
+	}
 
 	if failed {
 		os.Exit(1)
@@ -239,6 +260,28 @@ func writeTSV(dir, name string, res *exper.ScalingResult) {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n\n", filepath.Join(dir, name))
+}
+
+// writeTrace saves the E11a stitched trace as trace-<id>.json — the
+// artifact CI uploads so a failed bench run keeps its cross-machine
+// trace.
+func writeTrace(dir string, st *exper.ObsStitchedResult) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	rep := obs.NewReport("obs2", st).WithSpans(st.Trace)
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	name := filepath.Join(dir, fmt.Sprintf("trace-%s.json", st.TraceID))
+	if err := os.WriteFile(name, append(b, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n\n", name)
 }
 
 func fail(err error) {

@@ -65,6 +65,7 @@ type options struct {
 	sessionTimeout time.Duration
 	pprofAddr      string
 	trace          bool
+	traceDir       string
 }
 
 // namedEngine pairs a compiled engine with its registry name (the program
@@ -115,6 +116,7 @@ func main() {
 	sessionTimeout := fs.Duration("session-timeout", 2*time.Minute, "serve: per-session wall-time bound, handshake through restoration (0 disables)")
 	pprofAddr := fs.String("pprof", "", "serve: HTTP address for net/http/pprof and the /metrics JSON endpoint (empty disables)")
 	trace := fs.Bool("trace", false, "serve: log a per-session phase-span tree after each session")
+	traceDir := fs.String("trace-dir", "", "serve: dump a flight-<traceID>.json recording into this directory when a session fails (empty disables)")
 	fs.Parse(os.Args[2:])
 
 	m := lookupMachine(*machineName)
@@ -133,6 +135,7 @@ func main() {
 		sessionTimeout: *sessionTimeout,
 		pprofAddr:      *pprofAddr,
 		trace:          *trace,
+		traceDir:       *traceDir,
 	}
 	if mode == "serve" {
 		serve(engines, m, opts)
@@ -145,7 +148,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
-             [-pprof HOST:PORT] [-trace]
+             [-pprof HOST:PORT] [-trace] [-trace-dir DIR]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
              [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]`)
 	os.Exit(2)
@@ -261,6 +264,7 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		MaxConcurrent: o.maxConcurrent,
 		Timeout:       o.sessionTimeout,
 		Trace:         o.trace,
+		TraceDir:      o.traceDir,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[migd %s] %s\n", m.Name, fmt.Sprintf(format, args...))
 		},

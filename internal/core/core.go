@@ -208,7 +208,9 @@ func (e *Engine) ReceiveAndRestore(t link.Transport, m *arch.Machine) (*vm.Proce
 // restore phases as children of span (nil disables tracing).
 func (e *Engine) ReceiveAndRestoreObs(t link.Transport, m *arch.Machine, span *obs.Span) (*vm.Process, Timing, error) {
 	rx := span.Child("transport")
+	rxStart := time.Now()
 	env, err := t.Recv()
+	mRxLat.Observe(time.Since(rxStart))
 	rx.SetBytes(int64(len(env)))
 	rx.End()
 	if err != nil {
@@ -219,7 +221,9 @@ func (e *Engine) ReceiveAndRestoreObs(t link.Transport, m *arch.Machine, span *o
 	if err != nil {
 		return nil, Timing{}, err
 	}
-	return p, Timing{Restore: time.Since(start), Bytes: len(env)}, nil
+	restore := time.Since(start)
+	mRestoreLat.Observe(restore)
+	return p, Timing{Restore: restore, Bytes: len(env)}, nil
 }
 
 // MigrateResult is the outcome of a RunWithMigration round.

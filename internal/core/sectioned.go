@@ -86,7 +86,9 @@ func (e *Engine) ReceiveAndRestoreSectioned(r *stream.Reader, m *arch.Machine) (
 // tracing).
 func (e *Engine) ReceiveAndRestoreSectionedObs(r *stream.Reader, m *arch.Machine, span *obs.Span) (*vm.Process, Timing, error) {
 	rx := span.Child("transport")
+	rxStart := time.Now()
 	payload, err := r.ReadAll()
+	mRxLat.Observe(time.Since(rxStart))
 	rx.SetBytes(int64(len(payload)))
 	rx.End()
 	if err != nil {
@@ -101,5 +103,7 @@ func (e *Engine) ReceiveAndRestoreSectionedObs(r *stream.Reader, m *arch.Machine
 	if err != nil {
 		return nil, Timing{}, err
 	}
-	return p, Timing{Restore: time.Since(start), Bytes: len(payload)}, nil
+	restore := time.Since(start)
+	mRestoreLat.Observe(restore)
+	return p, Timing{Restore: restore, Bytes: len(payload)}, nil
 }

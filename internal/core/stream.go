@@ -98,7 +98,9 @@ func (e *Engine) ReceiveAndRestoreStream(r *stream.Reader, m *arch.Machine) (*vm
 // reassembly and restore phases as children of span (nil disables tracing).
 func (e *Engine) ReceiveAndRestoreStreamObs(r *stream.Reader, m *arch.Machine, span *obs.Span) (*vm.Process, Timing, error) {
 	rx := span.Child("transport")
+	rxStart := time.Now()
 	payload, err := r.ReadAll()
+	mRxLat.Observe(time.Since(rxStart))
 	rx.SetBytes(int64(len(payload)))
 	rx.End()
 	if err != nil {
@@ -113,5 +115,7 @@ func (e *Engine) ReceiveAndRestoreStreamObs(r *stream.Reader, m *arch.Machine, s
 	if err != nil {
 		return nil, Timing{}, err
 	}
-	return p, Timing{Restore: time.Since(start), Bytes: len(payload)}, nil
+	restore := time.Since(start)
+	mRestoreLat.Observe(restore)
+	return p, Timing{Restore: restore, Bytes: len(payload)}, nil
 }

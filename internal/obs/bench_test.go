@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // BenchmarkObsSpanDisabled measures the disabled fast path: a nil span's
 // whole child/annotate/end sequence must compile down to nil-checks with
@@ -40,5 +43,27 @@ func BenchmarkObsCounterAdd(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Add(64)
+	}
+}
+
+// BenchmarkObsHistogramDisabled measures the disabled latency-histogram
+// path: a nil histogram's Observe must compile down to a nil-check with
+// zero allocations — the cost an optional handle pays when unset.
+func BenchmarkObsHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i))
+	}
+}
+
+// BenchmarkObsHistogramObserve measures the enabled hot path: one bucket
+// index computation and three atomic adds, zero allocations — the per-
+// phase price of always-on latency recording.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
 	}
 }

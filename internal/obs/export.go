@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -14,15 +17,24 @@ const ReportSchema = "repro-obs/1"
 // SpanData is the exported (JSON) form of a Span. Times are microseconds:
 // StartUS is the span's offset from its root span's start, DurUS its
 // duration, so traces are machine-comparable without absolute clocks.
+//
+// TraceID/SpanID/ParentSpanID carry the distributed-trace identity on
+// session roots; Remote marks a subtree that was exported on another
+// machine and stitched in — its StartUS offsets are relative to its own
+// root, not the local one (the two clocks are not comparable).
 type SpanData struct {
-	Name     string            `json:"name"`
-	Kind     string            `json:"kind,omitempty"`
-	ID       uint32            `json:"id,omitempty"`
-	StartUS  int64             `json:"start_us"`
-	DurUS    int64             `json:"dur_us"`
-	Bytes    int64             `json:"bytes,omitempty"`
-	Attrs    map[string]string `json:"attrs,omitempty"`
-	Children []*SpanData       `json:"children,omitempty"`
+	Name         string            `json:"name"`
+	Kind         string            `json:"kind,omitempty"`
+	ID           uint32            `json:"id,omitempty"`
+	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Remote       bool              `json:"remote,omitempty"`
+	StartUS      int64             `json:"start_us"`
+	DurUS        int64             `json:"dur_us"`
+	Bytes        int64             `json:"bytes,omitempty"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Children     []*SpanData       `json:"children,omitempty"`
 }
 
 // Export converts the span tree to its JSON form, with start offsets
@@ -46,11 +58,19 @@ func (s *Span) export(base time.Time) *SpanData {
 		StartUS: s.start.Sub(base).Microseconds(),
 		Bytes:   s.bytes,
 	}
+	if s.tc.Valid() {
+		d.TraceID = IDString(s.tc.TraceID)
+		d.SpanID = IDString(s.tc.SpanID)
+	}
+	if s.parentSpan != 0 {
+		d.ParentSpanID = IDString(s.parentSpan)
+	}
 	dur := s.dur
 	if !s.ended {
 		dur = time.Since(s.start)
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]*SpanData(nil), s.remote...)
 	s.mu.Unlock()
 	d.DurUS = dur.Microseconds()
 	if attrs := s.sortedAttrs(); len(attrs) > 0 {
@@ -62,6 +82,8 @@ func (s *Span) export(base time.Time) *SpanData {
 	for _, c := range children {
 		d.Children = append(d.Children, c.export(base))
 	}
+	// Stitched peer subtrees export after the local children.
+	d.Children = append(d.Children, remote...)
 	return d
 }
 
@@ -76,6 +98,69 @@ func (t *Tracer) Export() []*SpanData {
 		out = append(out, r.Export())
 	}
 	return out
+}
+
+// Find returns the first node (depth-first, including d) with the given
+// name, or nil — the SpanData counterpart of Span.Find.
+func (d *SpanData) Find(name string) *SpanData {
+	if d == nil {
+		return nil
+	}
+	if d.Name == name {
+		return d
+	}
+	for _, c := range d.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindSpanID returns the first node whose SpanID matches, or nil.
+func (d *SpanData) FindSpanID(id string) *SpanData {
+	if d == nil || id == "" {
+		return nil
+	}
+	if d.SpanID == id {
+		return d
+	}
+	for _, c := range d.Children {
+		if hit := c.FindSpanID(id); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Tree renders the exported subtree in the same human-readable layout as
+// Span.Tree — how a stitched trace prints.
+func (d *SpanData) Tree() string {
+	if d == nil {
+		return ""
+	}
+	var b strings.Builder
+	writeDataTree(&b, d, 0)
+	return b.String()
+}
+
+// Stitch grafts a remote subtree into the exported trees by parent span
+// ID: the node whose SpanID equals remote.ParentSpanID gains remote as a
+// child (marked Remote). It returns false — and leaves the trees alone —
+// when no node matches, so report builders can fall back to side-by-side
+// rendering for unstitchable traces.
+func Stitch(roots []*SpanData, remote *SpanData) bool {
+	if remote == nil || remote.ParentSpanID == "" {
+		return false
+	}
+	for _, r := range roots {
+		if hit := r.FindSpanID(remote.ParentSpanID); hit != nil {
+			remote.Remote = true
+			hit.Children = append(hit.Children, remote)
+			return true
+		}
+	}
+	return false
 }
 
 // Report is the one obs schema every machine-readable export flows
@@ -107,17 +192,51 @@ func (r *Report) WithSpans(spans []*SpanData) *Report {
 	return r
 }
 
-// MetricsHandler serves reg as an obs Report at every request — the
-// daemon's /metrics endpoint. A nil registry serves Default.
+// MetricsHandler serves reg at every request — the daemon's /metrics
+// endpoint. A nil registry serves Default. Two representations are
+// offered: the obs JSON Report (the default, Content-Type
+// application/json) and the Prometheus text exposition, selected by
+// ?format=prometheus or an Accept header asking for text/plain or
+// OpenMetrics. An unknown ?format= is a 400; an encoding failure is a 500
+// (the body is staged in memory so the status line is still writable).
 func MetricsHandler(reg *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		r := reg
 		if r == nil {
 			r = Default
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(NewReport("", nil).WithMetrics(r))
+		snap := r.Snapshot()
+		format := req.URL.Query().Get("format")
+		if format == "" {
+			accept := req.Header.Get("Accept")
+			if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+				format = "prometheus"
+			} else {
+				format = "json"
+			}
+		}
+		switch format {
+		case "prometheus":
+			var buf bytes.Buffer
+			if err := snap.WritePrometheus(&buf); err != nil {
+				http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write(buf.Bytes())
+		case "json":
+			rep := NewReport("", nil)
+			rep.Metrics = &snap
+			b, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(b, '\n'))
+		default:
+			http.Error(w, fmt.Sprintf("metrics: unknown format %q (want json or prometheus)", format),
+				http.StatusBadRequest)
+		}
 	})
 }

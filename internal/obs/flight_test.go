@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderBasics(t *testing.T) {
+	var nilFR *FlightRecorder
+	nilFR.Record("x", "must not panic")
+	if nilFR.Total() != 0 || nilFR.Dropped() != 0 || len(nilFR.Events()) != 0 {
+		t.Error("nil recorder reports non-zero state")
+	}
+
+	fr := NewFlightRecorder(4)
+	fr.Record("phase", "collect -> transport")
+	fr.Record("retransmit", "chunk %d attempt %d", 7, 2)
+	evs := fr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[0].Kind != "phase" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[1].Detail != "chunk 7 attempt 2" {
+		t.Errorf("detail = %q, want formatted", evs[1].Detail)
+	}
+	if evs[0].At > evs[1].At {
+		t.Error("events out of chronological order")
+	}
+}
+
+func TestFlightRecorderOverwriteAtCapacity(t *testing.T) {
+	fr := NewFlightRecorder(3)
+	for i := 0; i < 10; i++ {
+		fr.Record("tick", "n=%d", i)
+	}
+	if fr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", fr.Total())
+	}
+	if fr.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", fr.Dropped())
+	}
+	evs := fr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d, want 3", len(evs))
+	}
+	// Most-recent-wins: the survivors are the last three, in order.
+	for i, want := range []string{"n=7", "n=8", "n=9"} {
+		if evs[i].Detail != want {
+			t.Errorf("event %d = %q, want %q", i, evs[i].Detail, want)
+		}
+	}
+	if !strings.Contains(fr.String(), "7 earlier events overwritten") {
+		t.Errorf("String() missing overwrite note:\n%s", fr.String())
+	}
+}
+
+func TestFlightRecorderExport(t *testing.T) {
+	fr := NewFlightRecorder(0) // 0 -> default capacity
+	fr.Record("phase", "restore")
+	data := fr.Export()
+	if data.Schema != FlightSchema {
+		t.Errorf("schema = %q", data.Schema)
+	}
+	// The dumper adds the correlation fields before writing.
+	data.TraceID = "0123456789abcdef"
+	data.Session = 1
+	data.Outcome = "failed"
+	data.Error = "checksum mismatch"
+	if data.Total != 1 || data.Dropped != 0 {
+		t.Errorf("export header = %+v", data)
+	}
+	if len(data.Events) != 1 || data.Events[0].Kind != "phase" {
+		t.Errorf("export events = %+v", data.Events)
+	}
+	// The export must round-trip as JSON (it is what -trace-dir writes).
+	b, err := json.Marshal(data)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back FlightData
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Error != "checksum mismatch" {
+		t.Errorf("round-trip error = %q", back.Error)
+	}
+}
+
+// TestFlightRecorderConcurrent exercises the ring under parallel appends;
+// run with -race this verifies the locking discipline.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(16)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				fr.Record("k", "w%d i%d", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fr.Total() != workers*each {
+		t.Errorf("total = %d, want %d", fr.Total(), workers*each)
+	}
+	evs := fr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained = %d, want 16", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("seq not increasing: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Span struct {
 	dur      time.Duration
 	ended    bool
 	children []*Span
+	// tc and parentSpan carry the distributed-trace identity (set on
+	// session root spans); remote holds stitched peer subtrees received
+	// over the wire, exported and rendered after the local children.
+	tc         TraceContext
+	parentSpan uint64
+	remote     []*SpanData
 }
 
 // newSpan starts a live span.
@@ -141,6 +147,65 @@ func (s *Span) SetAttr(key, value string) {
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
 	s.mu.Unlock()
+}
+
+// SetTraceContext stamps the span with its distributed-trace identity.
+func (s *Span) SetTraceContext(tc TraceContext) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tc = tc
+	s.mu.Unlock()
+}
+
+// TraceContext returns the span's trace identity (zero when unset or nil).
+func (s *Span) TraceContext() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tc
+}
+
+// SetParentSpan links the span under a remote parent span ID — the
+// responder's session span pointing back at the initiator's.
+func (s *Span) SetParentSpan(id uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.parentSpan = id
+	s.mu.Unlock()
+}
+
+// AttachRemote grafts an exported peer subtree under this span: the
+// destination's restore/confirm spans shipped back on the session's
+// confirm leg. The subtree is marked remote and appears after the local
+// children in both the rendered tree and the JSON export. Remote start
+// offsets stay relative to the remote root — the two machines' clocks are
+// not comparable. Nil-safe on both receiver and argument.
+func (s *Span) AttachRemote(d *SpanData) {
+	if s == nil || d == nil {
+		return
+	}
+	d.Remote = true
+	s.mu.Lock()
+	s.remote = append(s.remote, d)
+	s.mu.Unlock()
+}
+
+// Remote returns the attached peer subtrees in attach order.
+func (s *Span) Remote() []*SpanData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*SpanData, len(s.remote))
+	copy(out, s.remote)
+	return out
 }
 
 // SetDuration overrides the span's measured duration — used when a phase
@@ -282,6 +347,8 @@ func writeTree(b *strings.Builder, s *Span, depth int) {
 	}
 	attrs := append([]Attr(nil), s.attrs...)
 	children := append([]*Span(nil), s.children...)
+	tc := s.tc
+	remote := append([]*SpanData(nil), s.remote...)
 	s.mu.Unlock()
 
 	b.WriteString(strings.Repeat("  ", depth))
@@ -294,12 +361,48 @@ func writeTree(b *strings.Builder, s *Span, depth int) {
 	if bytes > 0 {
 		fmt.Fprintf(b, "  %10d B", bytes)
 	}
+	if tc.Valid() {
+		fmt.Fprintf(b, "  trace=%s", IDString(tc.TraceID))
+	}
 	for _, a := range attrs {
 		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)
 	}
 	b.WriteByte('\n')
 	for _, c := range children {
 		writeTree(b, c, depth+1)
+	}
+	for _, d := range remote {
+		writeDataTree(b, d, depth+1)
+	}
+}
+
+// writeDataTree renders an exported (possibly remote) span subtree in the
+// same layout as writeTree.
+func writeDataTree(b *strings.Builder, d *SpanData, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if d.Kind != "" {
+		fmt.Fprintf(b, "%-10s %s #%d", d.Name, d.Kind, d.ID)
+	} else {
+		fmt.Fprintf(b, "%-10s", d.Name)
+	}
+	fmt.Fprintf(b, "  %10.4fms", float64(d.DurUS)/1000)
+	if d.Bytes > 0 {
+		fmt.Fprintf(b, "  %10d B", d.Bytes)
+	}
+	if d.Remote {
+		b.WriteString("  (remote)")
+	}
+	keys := make([]string, 0, len(d.Attrs))
+	for k := range d.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %s=%s", k, d.Attrs[k])
+	}
+	b.WriteByte('\n')
+	for _, c := range d.Children {
+		writeDataTree(b, c, depth+1)
 	}
 }
 

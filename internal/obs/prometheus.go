@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName maps a registry metric name onto the Prometheus data model:
+// dots (the registry's namespace separator) and any other illegal rune
+// become underscores ("session.fail.corrupt-stream" ->
+// "session_fail_corrupt_stream").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promBound renders a histogram bucket's upper bound in seconds, the
+// Prometheus convention for latency histograms (buckets are stored in
+// microseconds internally).
+func promBound(leUS int64) string {
+	if leUS < 0 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", float64(leUS)/1e6)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters, gauges, and histograms with
+// cumulative le buckets, _sum, and _count. Output is sorted by metric
+// name so scrapes diff cleanly.
+func (m MetricsSnapshot) WritePrometheus(w io.Writer) error {
+	names := func(vals map[string]int64) []string {
+		out := make([]string, 0, len(vals))
+		for n := range vals {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, n := range names(m.Counters) {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range names(m.Gauges) {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, m.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(m.Histograms))
+	for n := range m.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := m.Histograms[n]
+		pn := promName(n) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		hasInf := false
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.LEUS < 0 {
+				hasInf = true
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promBound(b.LEUS), cum); err != nil {
+				return err
+			}
+		}
+		if !hasInf {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n",
+			pn, float64(h.SumUS)/1e6, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -71,16 +71,18 @@ func (g *Gauge) Value() int64 {
 // Handles are get-or-create and stable, so hot layers resolve a name once
 // and pay only the atomic op afterwards. Safe for concurrent use.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -130,6 +132,27 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named latency histogram, creating it on first
+// use. Nil-safe like Counter and Gauge.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot returns a point-in-time copy of every metric. Counters and
 // gauges share one namespace in the export; gauge names keep their
 // ".gauge"-free spelling — the schema distinguishes them structurally.
@@ -149,15 +172,22 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	for name, g := range r.gauges {
 		snap.Gauges[name] = g.Value()
 	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			snap.Histograms[name] = h.Snapshot()
+		}
+	}
 	return snap
 }
 
-// MetricsSnapshot is the JSON form of a registry: two flat name→value
-// maps. It is one half of the shared obs schema (Report carries it next
-// to the span trees).
+// MetricsSnapshot is the JSON form of a registry: flat name→value maps
+// per metric kind. It is one half of the shared obs schema (Report
+// carries it next to the span trees).
 type MetricsSnapshot struct {
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // String renders the snapshot as sorted "name value" lines for logs.
@@ -175,5 +205,15 @@ func (m MetricsSnapshot) String() string {
 	}
 	writeSorted("counter", m.Counters)
 	writeSorted("gauge", m.Gauges)
+	hnames := make([]string, 0, len(m.Histograms))
+	for n := range m.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := m.Histograms[n]
+		fmt.Fprintf(&b, "histogram %s count %d p50 %dus p90 %dus p99 %dus\n",
+			n, h.Count, h.P50US, h.P90US, h.P99US)
+	}
 	return b.String()
 }

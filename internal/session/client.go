@@ -1,12 +1,15 @@
 package session
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/link"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -17,6 +20,15 @@ type Result struct {
 	// Timing covers the whole migration: collection, transmission, and
 	// (on the responder) restoration is confirmed but not timed here.
 	Timing core.Timing
+	// Trace is the distributed-trace identity this migration ran under
+	// (the initiator mints it; the responder adopts the trace ID).
+	Trace obs.TraceContext
+	// Remote is the responder's exported span tree, shipped back on the
+	// RESTORED confirmation when both sides trace. It is also already
+	// grafted into Config.Trace (AttachRemote), so rendering the local
+	// tree shows the stitched whole; nil when the responder predates the
+	// extension or was not tracing.
+	Remote *obs.SpanData
 }
 
 // Initiate negotiates a migration session for the stopped process p over t
@@ -26,6 +38,11 @@ type Result struct {
 // name is diagnostics).
 func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program string, p *vm.Process, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	// The initiator mints the migration's trace identity and offers it to
+	// the responder, which adopts the trace ID and parents its own span
+	// tree under our session span — one stitched tree per migration.
+	tc := obs.NewTraceContext()
+	cfg.Trace.SetTraceContext(tc)
 	o := offer{
 		minVer:  cfg.MinVersion,
 		maxVer:  cfg.MaxVersion,
@@ -34,7 +51,11 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 		machine: src.Name,
 		chunk:   uint32(cfg.ChunkSize),
 		window:  uint32(cfg.Window),
+		traceID: tc.TraceID,
+		spanID:  tc.SpanID,
 	}
+	cfg.Recorder.Record("session.offer", "program %q digest %08x trace %s", program, o.digest, tc)
+	hsStart := time.Now()
 	hs := cfg.Trace.Child("handshake")
 	if err := t.Send(marshalOffer(o)); err != nil {
 		hs.End()
@@ -47,6 +68,7 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	}
 	m, err := parseMessage(raw)
 	hs.End()
+	cfg.observePhase("handshake", time.Since(hsStart))
 	if err != nil {
 		return nil, err
 	}
@@ -59,22 +81,31 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	}
 	prm := m.params
 	prm.Trace = cfg.Trace
+	prm.Recorder = cfg.Recorder
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
+	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d", prm.Version, prm.ChunkSize, prm.Window)
 	path, err := pathFor(prm.Version)
 	if err != nil {
 		return nil, err
 	}
+	txStart := time.Now()
 	timing, err := path.Send(t, e, src, p, prm)
 	if err != nil {
+		cfg.Recorder.Record("session.fail", "transfer: %v", err)
 		return nil, err
 	}
 	timing.Collect = p.CaptureStats().Elapsed
+	cfg.observePhase("collect", timing.Collect)
+	cfg.observePhase("transport", time.Since(txStart))
 	// Only terminate the source once the destination holds a restored,
 	// runnable process.
+	confirmStart := time.Now()
 	confirm := cfg.Trace.Child("confirm")
 	raw, err = t.Recv()
 	confirm.End()
+	cfg.observePhase("confirm", time.Since(confirmStart))
 	if err != nil {
+		cfg.Recorder.Record("session.fail", "confirm read: %v", err)
 		return nil, fmt.Errorf("session: restoration confirm read: %w", err)
 	}
 	m, err = parseMessage(raw)
@@ -84,7 +115,21 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	if m.typ != msgRestored {
 		return nil, fmt.Errorf("%w: expected RESTORED, got message type %d", ErrProtocol, m.typ)
 	}
-	return &Result{Params: prm, Timing: timing}, nil
+	res := &Result{Params: prm, Timing: timing, Trace: tc}
+	if len(m.spans) > 0 {
+		// The responder shipped its exported span tree: graft it under our
+		// session span so one render shows the whole migration.
+		var remote obs.SpanData
+		if err := json.Unmarshal(m.spans, &remote); err != nil {
+			// A malformed tree costs the stitched view, not the migration.
+			cfg.Recorder.Record("session.trace", "discarding malformed remote spans: %v", err)
+		} else {
+			res.Remote = &remote
+			cfg.Trace.AttachRemote(&remote)
+		}
+	}
+	cfg.Recorder.Record("session.restored", "%d bytes confirmed", m.bytes)
+	return res, nil
 }
 
 // Transfer migrates the stopped process p from its machine to dst over an

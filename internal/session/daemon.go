@@ -1,7 +1,10 @@
 package session
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -69,6 +72,10 @@ type Info struct {
 	SrcMachine string
 	// Params is the negotiated outcome.
 	Params Params
+	// Trace is the distributed-trace identity the initiator offered (the
+	// responder adopts the trace ID and mints its own span ID under it);
+	// zero when the initiator was untraced.
+	Trace obs.TraceContext
 }
 
 // Respond serves exactly one inbound migration session on t: it reads the
@@ -77,6 +84,7 @@ type Info struct {
 // confirms with RESTORED. A negotiation failure is reported to the peer
 // (REJECT) and returned.
 func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info, *vm.Process, core.Timing, error) {
+	hsStart := time.Now()
 	hs := cfg.Trace.Child("handshake")
 	raw, err := t.Recv()
 	if err != nil {
@@ -93,25 +101,39 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 		return Info{}, nil, core.Timing{}, fmt.Errorf("%w: expected OFFER, got message type %d", ErrProtocol, msg.typ)
 	}
 	o := msg.offer
+	var tc obs.TraceContext
+	if o.traceID != 0 {
+		// Adopt the initiator's trace: same trace ID, our own span ID,
+		// parented under the initiator's session span.
+		tc = obs.TraceContext{TraceID: o.traceID, SpanID: obs.NewSpanID()}
+		cfg.Trace.SetTraceContext(tc)
+		cfg.Trace.SetParentSpan(o.spanID)
+	}
+	cfg.Recorder.Record("session.offer", "program %q digest %08x from %s trace %s", o.program, o.digest, o.machine, tc)
 	engine, name, ok := reg.Lookup(o.digest)
 	if !ok {
 		err := fmt.Errorf("%w: digest %08x (program %q) not pre-distributed here", ErrUnknownProgram, o.digest, o.program)
+		cfg.Recorder.Record("session.reject", "%v", err)
 		t.Send(marshalReject(err.Error()))
 		hs.End()
-		return Info{}, nil, core.Timing{}, err
+		return Info{Trace: tc}, nil, core.Timing{}, err
 	}
 	prm, err := negotiate(o, cfg)
 	if err != nil {
+		cfg.Recorder.Record("session.reject", "%v", err)
 		t.Send(marshalReject(err.Error()))
 		hs.End()
-		return Info{}, nil, core.Timing{}, err
+		return Info{Trace: tc}, nil, core.Timing{}, err
 	}
 	prm.Trace = cfg.Trace
+	prm.Recorder = cfg.Recorder
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
 	cfg.Trace.SetAttr("program", name)
-	info := Info{Program: name, SrcMachine: o.machine, Params: prm}
+	info := Info{Program: name, SrcMachine: o.machine, Params: prm, Trace: tc}
+	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d", name, prm.Version, prm.ChunkSize, prm.Window)
 	err = t.Send(marshalAccept(prm))
 	hs.End()
+	cfg.observePhase("handshake", time.Since(hsStart))
 	if err != nil {
 		return info, nil, core.Timing{}, fmt.Errorf("session: accept send: %w", err)
 	}
@@ -121,11 +143,26 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	}
 	p, timing, err := path.Receive(t, engine, m, prm)
 	if err != nil {
+		cfg.Recorder.Record("session.fail", "receive/restore: %v", err)
 		return info, nil, core.Timing{}, err
 	}
+	cfg.observePhase("restore", timing.Restore)
+	cfg.Recorder.Record("session.restored", "%d bytes restored in %v", timing.Bytes, timing.Restore)
+	confirmStart := time.Now()
 	confirm := cfg.Trace.Child("confirm")
-	err = t.Send(marshalRestored(uint64(timing.Bytes)))
+	// When both sides trace, ship our exported span tree back on the
+	// confirmation so the initiator can stitch the two into one. The
+	// export necessarily precedes the send, so the confirm span appears
+	// in-flight (near-zero duration) in the shipped tree.
+	var spans []byte
+	if o.traceID != 0 && cfg.Trace != nil {
+		if b, jerr := json.Marshal(cfg.Trace.Export()); jerr == nil {
+			spans = b
+		}
+	}
+	err = t.Send(marshalRestored(uint64(timing.Bytes), spans))
 	confirm.End()
+	cfg.observePhase("confirm", time.Since(confirmStart))
 	if err != nil {
 		return info, nil, core.Timing{}, fmt.Errorf("session: restored send: %w", err)
 	}
@@ -164,6 +201,14 @@ type Daemon struct {
 	// Trace enables per-session phase tracing: each session runs under
 	// its own span tree, rendered through Logf when the session ends.
 	Trace bool
+	// TraceDir, when non-empty, is where failed sessions dump their
+	// flight recordings as JSON (flight-<traceID|session-N>.json). The
+	// recording also goes to Logf either way; successful sessions never
+	// dump.
+	TraceDir string
+	// FlightEvents bounds each session's flight-recorder ring (zero
+	// selects the recorder default of 256).
+	FlightEvents int
 
 	counters stats.SessionCounters
 	nextID   atomic.Uint64
@@ -249,6 +294,11 @@ func (d *Daemon) handle(conn *link.Conn) {
 		tr = obs.NewTracer()
 		cfg.Trace = tr.Start("session")
 	}
+	cfg.Metrics = d.metrics()
+	// Every session records its flight events; the ring is read (and
+	// dumped) only when the session fails.
+	recorder := obs.NewFlightRecorder(d.FlightEvents)
+	cfg.Recorder = recorder
 	start := time.Now()
 	info, p, timing, err := Respond(conn, d.Registry, d.Mach, cfg)
 	info.ID = id
@@ -258,10 +308,12 @@ func (d *Daemon) handle(conn *link.Conn) {
 		d.counters.Failed()
 		reg.Counter("session.failed").Inc()
 		reg.Counter("session.fail." + string(class)).Inc()
+		recorder.Record("session.classify", "%s: %v", class, err)
 		cfg.Trace.SetAttr("outcome", string(class))
 		cfg.Trace.End()
 		d.logf("session %d: failed (%s): %v", id, class, err)
 		d.logTrace(id, tr)
+		d.dumpFlight(id, info.Trace, recorder, string(class), err)
 		return
 	}
 	d.counters.Restored(timing.Bytes)
@@ -276,6 +328,43 @@ func (d *Daemon) handle(conn *link.Conn) {
 	if d.OnRestored != nil {
 		d.OnRestored(info, p, timing)
 	}
+}
+
+// dumpFlight publishes a failed session's flight recording: the event log
+// through Logf, and — with TraceDir set — a JSON file correlated to the
+// distributed trace by ID. Called only on failure, so the success path
+// pays nothing beyond the in-memory ring.
+func (d *Daemon) dumpFlight(id uint64, tc obs.TraceContext, recorder *obs.FlightRecorder, outcome string, cause error) {
+	if recorder == nil {
+		return
+	}
+	d.logf("session %d flight recording (%d events, %d dropped):\n%s",
+		id, recorder.Total(), recorder.Dropped(), strings.TrimRight(recorder.String(), "\n"))
+	if d.TraceDir == "" {
+		return
+	}
+	data := recorder.Export()
+	data.Session = id
+	data.Outcome = outcome
+	if cause != nil {
+		data.Error = cause.Error()
+	}
+	name := fmt.Sprintf("flight-session-%d.json", id)
+	if tc.Valid() {
+		data.TraceID = obs.IDString(tc.TraceID)
+		name = "flight-" + data.TraceID + ".json"
+	}
+	b, err := json.MarshalIndent(data, "", "  ")
+	if err != nil {
+		d.logf("session %d: flight dump encode: %v", id, err)
+		return
+	}
+	path := filepath.Join(d.TraceDir, name)
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		d.logf("session %d: flight dump write: %v", id, err)
+		return
+	}
+	d.logf("session %d: flight recording dumped to %s", id, path)
 }
 
 // logTrace renders one completed session's span tree through Logf.

@@ -1,9 +1,29 @@
 package session
 
 import (
+	"bytes"
 	"errors"
 	"testing"
+
+	"repro/internal/xdr"
 )
+
+// legacyOffer marshals an OFFER in the pre-tracing wire layout — it ends
+// after window, with no trace-context pair — as an old initiator would
+// emit it.
+func legacyOffer(o offer) []byte {
+	e := xdr.NewEncoder(64 + len(o.program) + len(o.machine))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgOffer)
+	e.PutUint32(o.minVer)
+	e.PutUint32(o.maxVer)
+	e.PutUint32(o.digest)
+	e.PutString(o.program)
+	e.PutString(o.machine)
+	e.PutUint32(o.chunk)
+	e.PutUint32(o.window)
+	return e.Bytes()
+}
 
 // FuzzHandshake feeds arbitrary frames to the session-layer message
 // parser. A daemon reads these bytes straight off an accepted connection,
@@ -17,9 +37,14 @@ func FuzzHandshake(f *testing.F) {
 	}
 	full := marshalOffer(of)
 	f.Add(full)
+	traced := of
+	traced.traceID, traced.spanID = 0x0123456789abcdef, 0xfedcba9876543210
+	f.Add(marshalOffer(traced))
+	f.Add(legacyOffer(of)) // pre-tracing layout: must still parse
 	f.Add(marshalAccept(Params{Version: 2, ChunkSize: 65536, Window: 16}))
 	f.Add(marshalReject("session: no common protocol version"))
-	f.Add(marshalRestored(1 << 20))
+	f.Add(marshalRestored(1<<20, nil))
+	f.Add(marshalRestored(1<<20, []byte(`{"name":"session","dur_us":42}`)))
 	f.Add(full[:6])           // truncated inside the type word
 	f.Add(full[:len(full)-3]) // truncated final field
 	f.Add([]byte{})           // empty frame
@@ -50,7 +75,7 @@ func FuzzHandshake(f *testing.F) {
 		case msgReject:
 			again = marshalReject(m.reason)
 		case msgRestored:
-			again = marshalRestored(m.bytes)
+			again = marshalRestored(m.bytes, m.spans)
 		default:
 			t.Fatalf("parser accepted unknown message type %d", m.typ)
 		}
@@ -60,6 +85,9 @@ func FuzzHandshake(f *testing.F) {
 		}
 		if m2.typ != m.typ || m2.offer != m.offer || m2.reason != m.reason || m2.bytes != m.bytes {
 			t.Fatalf("re-marshal round trip differs: %+v vs %+v", m2, m)
+		}
+		if !bytes.Equal(m2.spans, m.spans) {
+			t.Fatalf("re-marshal spans differ: %q vs %q", m2.spans, m.spans)
 		}
 		if m2.params.Version != m.params.Version || m2.params.ChunkSize != m.params.ChunkSize ||
 			m2.params.Window != m.params.Window {

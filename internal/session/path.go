@@ -62,7 +62,7 @@ func (monoPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm P
 type streamPath struct{}
 
 func (streamPath) config(prm Params) stream.Config {
-	return stream.Config{ChunkSize: prm.ChunkSize, Window: prm.Window}
+	return stream.Config{ChunkSize: prm.ChunkSize, Window: prm.Window, Recorder: prm.Recorder}
 }
 
 func (sp streamPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
@@ -89,7 +89,7 @@ func (sp streamPath) Receive(t link.Transport, e *core.Engine, m *arch.Machine, 
 type sectionedPath struct{}
 
 func (sectionedPath) config(prm Params) stream.Config {
-	return stream.Config{ChunkSize: prm.ChunkSize, Window: prm.Window}
+	return stream.Config{ChunkSize: prm.ChunkSize, Window: prm.Window, Recorder: prm.Recorder}
 }
 
 func (sp sectionedPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {

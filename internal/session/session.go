@@ -33,9 +33,18 @@
 //
 //	offer    = magic, OFFER, minVer u32, maxVer u32, digest u32,
 //	           program string, machine string, chunk u32, window u32
+//	           [, traceID u64, spanID u64]
 //	accept   = magic, ACCEPT, version u32, chunk u32, window u32
 //	reject   = magic, REJECT, reason string
-//	restored = magic, RESTORED, bytes u64
+//	restored = magic, RESTORED, bytes u64 [, spans opaque]
+//
+// The bracketed fields are the distributed-tracing extension and are
+// backward compatible in both directions: an old initiator's offer simply
+// ends after window (the parser treats exact end-of-buffer as "no trace
+// context"), and an old responder never reads past window, so the trailing
+// pair is ignored. Likewise RESTORED may carry the responder's exported
+// span tree (JSON, XDR-opaque-framed) after the byte count; old initiators
+// stop reading after bytes. traceID zero means "untraced".
 //
 // Between ACCEPT and RESTORED the transport belongs to the selected Path:
 // one sealed envelope frame for version 1, the internal/stream protocol
@@ -46,6 +55,7 @@ package session
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -92,9 +102,32 @@ type Config struct {
 	ChunkSize int
 	Window    int
 	// Trace, when set, receives one child span per session phase
-	// (handshake, collect, transport, restore, confirm). Purely local:
-	// it never crosses the wire and nil disables tracing.
+	// (handshake, collect, transport, restore, confirm). The span tree is
+	// local, but its trace identity (trace ID + span ID) crosses the wire
+	// so both sides' trees stitch into one; nil disables tracing.
 	Trace *obs.Span
+	// Metrics receives the per-phase latency histograms
+	// (session.phase.<handshake|collect|transport|restore|confirm>).
+	// Nil selects obs.Default.
+	Metrics *obs.Registry
+	// Recorder, when set, receives structured flight-recorder events for
+	// the session (phase transitions, negotiation outcomes) and is
+	// propagated into the stream layer's robustness events. Nil disables.
+	Recorder *obs.FlightRecorder
+}
+
+// metrics resolves the registry the phase histograms observe into.
+func (c Config) metrics() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default
+}
+
+// observePhase records one completed session phase into the per-phase
+// latency histogram ("session.phase." + name).
+func (c Config) observePhase(name string, elapsed time.Duration) {
+	c.metrics().Histogram("session.phase." + name).Observe(elapsed)
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +158,9 @@ type Params struct {
 	// off. Local plumbing only — it is never marshalled, and each side
 	// sets its own from Config.Trace after negotiation.
 	Trace *obs.Span
+	// Recorder is the flight recorder the selected path's stream layer
+	// reports robustness events to. Local plumbing like Trace.
+	Recorder *obs.FlightRecorder
 }
 
 // offer is the decoded OFFER message.
@@ -134,6 +170,9 @@ type offer struct {
 	program        string
 	machine        string
 	chunk, window  uint32
+	// traceID and spanID carry the initiator's distributed-trace identity
+	// (zero when the initiator does not trace or predates the extension).
+	traceID, spanID uint64
 }
 
 // negotiate intersects an initiator's offer with the responder's posture:
@@ -166,6 +205,7 @@ type message struct {
 	params Params // ACCEPT
 	reason string // REJECT
 	bytes  uint64 // RESTORED
+	spans  []byte // RESTORED: optional JSON-encoded responder span tree
 }
 
 func marshalOffer(o offer) []byte {
@@ -179,6 +219,8 @@ func marshalOffer(o offer) []byte {
 	e.PutString(o.machine)
 	e.PutUint32(o.chunk)
 	e.PutUint32(o.window)
+	e.PutUint64(o.traceID)
+	e.PutUint64(o.spanID)
 	return e.Bytes()
 }
 
@@ -200,11 +242,15 @@ func marshalReject(reason string) []byte {
 	return e.Bytes()
 }
 
-func marshalRestored(bytes uint64) []byte {
-	e := xdr.NewEncoder(16)
+func marshalRestored(bytes uint64, spans []byte) []byte {
+	e := xdr.NewEncoder(16 + len(spans))
 	e.PutUint32(sessionMagic)
 	e.PutUint32(msgRestored)
 	e.PutUint64(bytes)
+	if len(spans) > 0 {
+		// Trailing and optional: pre-extension parsers stop after bytes.
+		e.PutOpaque(spans)
+	}
 	return e.Bytes()
 }
 
@@ -236,7 +282,12 @@ func parseMessage(raw []byte) (message, error) {
 	case msgReject:
 		m.reason, err = d.String()
 	case msgRestored:
-		m.bytes, err = d.Uint64()
+		if m.bytes, err = d.Uint64(); err != nil {
+			break
+		}
+		if d.Remaining() > 0 {
+			m.spans, err = d.Opaque()
+		}
 	default:
 		return message{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, typ)
 	}
@@ -266,6 +317,16 @@ func parseOffer(d *xdr.Decoder, o *offer) error {
 	if o.chunk, err = d.Uint32(); err != nil {
 		return err
 	}
-	o.window, err = d.Uint32()
+	if o.window, err = d.Uint32(); err != nil {
+		return err
+	}
+	if d.Remaining() == 0 {
+		// Legacy offer: ends after window, no trace context.
+		return nil
+	}
+	if o.traceID, err = d.Uint64(); err != nil {
+		return err
+	}
+	o.spanID, err = d.Uint64()
 	return err
 }

@@ -18,6 +18,12 @@ var (
 	mRxDuplicates  = obs.Default.Counter("stream.rx.duplicates")
 	mRxReconnects  = obs.Default.Counter("stream.rx.reconnects")
 	mWindow        = obs.Default.Gauge("stream.window.occupancy")
+	// mAckRTT observes the send→acknowledge round trip per chunk: the
+	// time from a chunk's (re)transmission to the acknowledgement
+	// watermark passing it. Retransmitted chunks restart their clock, so
+	// the histogram reflects the latency of the wire that actually
+	// delivered them.
+	mAckRTT = obs.Default.Histogram("stream.ack.rtt")
 )
 
 // flush publishes one completed send-side transfer to the registry.

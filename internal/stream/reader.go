@@ -90,6 +90,7 @@ func (r *Reader) reconnect(cause error) error {
 	}
 	r.t = t
 	r.stats.Reconnects++
+	r.cfg.Recorder.Record("stream.reaccept", "receiver replaced transport at seq %d after: %v", r.nextSeq, cause)
 	return nil
 }
 
@@ -108,6 +109,7 @@ func (r *Reader) Next() ([]byte, error) {
 				// connection is still aligned: re-request instead of
 				// aborting the migration.
 				r.stats.Nacks++
+				r.cfg.Recorder.Record("stream.nack", "frame checksum failed, re-requesting seq %d", r.nextSeq)
 				if err := r.send(marshalSeq(msgNack, r.nextSeq)); err != nil {
 					if rerr := r.reconnect(err); rerr != nil {
 						return nil, rerr
@@ -142,6 +144,7 @@ func (r *Reader) Next() ([]byte, error) {
 			}
 			if crc32.ChecksumIEEE(m.payload) != m.crc {
 				r.stats.Nacks++
+				r.cfg.Recorder.Record("stream.nack", "chunk %d payload crc mismatch, re-requesting", m.seq)
 				if err := r.send(marshalSeq(msgNack, r.nextSeq)); err != nil {
 					if rerr := r.reconnect(err); rerr != nil {
 						return nil, rerr
@@ -173,6 +176,7 @@ func (r *Reader) Next() ([]byte, error) {
 				// A FIN for chunks we have not seen: the sender's view is
 				// ahead (lost tail); ask it to rewind.
 				r.stats.Nacks++
+				r.cfg.Recorder.Record("stream.nack", "fin at seq %d but receiver needs %d, rewinding", m.seq, r.nextSeq)
 				if err := r.send(marshalSeq(msgNack, r.nextSeq)); err != nil {
 					if rerr := r.reconnect(err); rerr != nil {
 						return nil, rerr

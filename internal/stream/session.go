@@ -202,8 +202,9 @@ func (s *Session) pump() {
 		events   chan recvEvent
 		stopRecv chan struct{}
 		// retained holds transmitted chunks at and beyond the receiver's
-		// acknowledgement watermark, in sequence order.
-		retained  []chunk
+		// acknowledgement watermark, in sequence order, each stamped with
+		// its most recent transmission time for ack-RTT measurement.
+		retained  []retainedChunk
 		producing = true
 		finSent   bool
 	)
@@ -222,6 +223,22 @@ func (s *Session) pump() {
 
 	sendData := func(c chunk) error {
 		return t.Send(marshalData(c, crc32.ChecksumIEEE(c.payload)))
+	}
+	// ackTo drops retained chunks below the watermark, observing each
+	// chunk's send->ack round trip. Rewinds and resumes drop through
+	// dropTo instead: a chunk discarded because the receiver already held
+	// it carries no fresh timing signal.
+	ackTo := func(next uint32) {
+		now := time.Now()
+		for len(retained) > 0 && retained[0].seq < next {
+			mAckRTT.Observe(now.Sub(retained[0].sentAt))
+			retained = retained[1:]
+		}
+	}
+	dropTo := func(next uint32) {
+		for len(retained) > 0 && retained[0].seq < next {
+			retained = retained[1:]
+		}
 	}
 	sendFin := func() error {
 		finSent = true
@@ -272,16 +289,16 @@ func (s *Session) pump() {
 			t = nt
 			// Drop what the receiver already holds, replay the rest.
 			next := m.seq
-			for len(retained) > 0 && retained[0].seq < next {
-				retained = retained[1:]
-			}
+			dropTo(next)
+			s.cfg.Recorder.Record("stream.resume", "session %d resumed at seq %d, replaying %d chunks", s.id, next, len(retained))
 			if next > s.stats.AckedSeq {
 				s.stats.AckedSeq = next
 			}
 			ok := true
-			for _, c := range retained {
+			for i := range retained {
 				s.stats.Retransmits++
-				if err := sendData(c); err != nil {
+				retained[i].sentAt = time.Now()
+				if err := sendData(retained[i].chunk); err != nil {
 					lastErr = err
 					ok = false
 					break
@@ -311,7 +328,9 @@ func (s *Session) pump() {
 			s.fail(fmt.Errorf("stream: transport failed and reconnection disabled: %w", cause))
 			return false
 		}
+		s.cfg.Recorder.Record("stream.reconnect", "session %d transport failed: %v", s.id, cause)
 		if err := connect(); err != nil {
+			s.cfg.Recorder.Record("stream.fail", "session %d reconnect gave up: %v", s.id, err)
 			s.fail(fmt.Errorf("stream: reconnect after %v: %w", cause, err))
 			return false
 		}
@@ -350,7 +369,7 @@ func (s *Session) pump() {
 				}
 				continue
 			}
-			retained = append(retained, c)
+			retained = append(retained, retainedChunk{chunk: c, sentAt: time.Now()})
 			mWindow.Set(int64(len(retained)))
 			if err := sendData(c); err != nil {
 				if !reconnect(err) {
@@ -364,23 +383,20 @@ func (s *Session) pump() {
 					return
 				}
 			case ev.msg.typ == msgAck:
-				next := ev.msg.seq
-				for len(retained) > 0 && retained[0].seq < next {
-					retained = retained[1:]
-				}
-				if next > s.stats.AckedSeq {
-					s.stats.AckedSeq = next
+				ackTo(ev.msg.seq)
+				if ev.msg.seq > s.stats.AckedSeq {
+					s.stats.AckedSeq = ev.msg.seq
 				}
 			case ev.msg.typ == msgNack:
 				// Corruption rewind over the live connection.
 				next := ev.msg.seq
-				for len(retained) > 0 && retained[0].seq < next {
-					retained = retained[1:]
-				}
+				dropTo(next)
+				s.cfg.Recorder.Record("stream.rewind", "session %d nack at seq %d, replaying %d chunks", s.id, next, len(retained))
 				replayErr := error(nil)
-				for _, c := range retained {
+				for i := range retained {
 					s.stats.Retransmits++
-					if err := sendData(c); err != nil {
+					retained[i].sentAt = time.Now()
+					if err := sendData(retained[i].chunk); err != nil {
 						replayErr = err
 						break
 					}
@@ -402,6 +418,8 @@ func (s *Session) pump() {
 					fatal(fmt.Errorf("%w: receiver confirmed %d bytes, sent %d", ErrVerify, ev.msg.bytes, s.bytes))
 					return
 				}
+				// DONE is the final cumulative acknowledgement.
+				ackTo(s.seq)
 				if s.seq > s.stats.AckedSeq {
 					s.stats.AckedSeq = s.seq
 				}

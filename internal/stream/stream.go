@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/xdr"
 )
 
@@ -99,6 +100,10 @@ type Config struct {
 	// subsequent attempts double it up to RetryMax (default 1s).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// Recorder, when set, receives structured flight-recorder events for
+	// the robustness machinery (reconnects, rewinds, NACKs) so a failed
+	// migration can be reconstructed after the fact. Nil disables.
+	Recorder *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +132,14 @@ func (c Config) withDefaults() Config {
 		c.RetryMax = time.Second
 	}
 	return c
+}
+
+// retainedChunk is a transmitted-but-unacknowledged chunk held by a
+// Session, stamped with its most recent transmission time so the
+// acknowledgement watermark can observe the per-chunk round trip.
+type retainedChunk struct {
+	chunk
+	sentAt time.Time
 }
 
 // chunk is one in-flight piece of the snapshot.

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/link"
+	"repro/internal/obs"
 )
 
 // testPayload builds deterministic pseudo-random bytes.
@@ -363,5 +364,36 @@ func TestSessionTransportHandoff(t *testing.T) {
 	}
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFlightRecorderAndAckRTT verifies the observability hooks of the
+// robust path: a corruption rewind leaves structured events in the
+// session's flight recorder (both sides share one here), and completed
+// transfers feed the ack round-trip histogram.
+func TestFlightRecorderAndAckRTT(t *testing.T) {
+	before := obs.Default.Histogram("stream.ack.rtt").Count()
+	fr := obs.NewFlightRecorder(0)
+	cfg := Config{ChunkSize: 1024, Window: 4, AckEvery: 2, Recorder: fr}
+	net := newPipeNet()
+	payload := testPayload(20*1024, 21)
+	_, r := sessionTransfer(t, net, cfg, payload, func(tr link.Transport) link.Transport {
+		return NewFault(tr).CorruptRecv(4)
+	})
+	if r.err != nil {
+		t.Fatalf("read: %v", r.err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range fr.Events() {
+		kinds[ev.Kind] = true
+	}
+	if !kinds["stream.nack"] {
+		t.Errorf("recorder missing stream.nack event: %v", kinds)
+	}
+	if !kinds["stream.rewind"] {
+		t.Errorf("recorder missing stream.rewind event: %v", kinds)
+	}
+	if after := obs.Default.Histogram("stream.ack.rtt").Count(); after <= before {
+		t.Errorf("ack RTT histogram did not grow (%d -> %d)", before, after)
 	}
 }

@@ -51,6 +51,12 @@ type Writer struct {
 	mu  sync.Mutex
 	err error
 
+	// inflight maps a transmitted chunk's sequence number to its send
+	// time; the ack watermark in recvLoop drains it into the ack-RTT
+	// histogram. Guarded by rttMu (txLoop and recvLoop race on it).
+	rttMu    sync.Mutex
+	inflight map[uint32]time.Time
+
 	stats WriterStats
 }
 
@@ -59,12 +65,13 @@ type Writer struct {
 func NewWriter(t link.Transport, cfg Config) *Writer {
 	cfg = cfg.withDefaults()
 	w := &Writer{
-		cfg:   cfg,
-		t:     t,
-		buf:   make([]byte, 0, cfg.ChunkSize),
-		sendq: make(chan chunk, cfg.Window),
-		abort: make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		t:        t,
+		buf:      make([]byte, 0, cfg.ChunkSize),
+		sendq:    make(chan chunk, cfg.Window),
+		abort:    make(chan struct{}),
+		done:     make(chan struct{}),
+		inflight: make(map[uint32]time.Time),
 	}
 	go w.txLoop()
 	go w.recvLoop()
@@ -90,9 +97,32 @@ func (w *Writer) Err() error {
 // Stats returns the transfer statistics; call after Close.
 func (w *Writer) Stats() WriterStats { return w.stats }
 
+// noteSent stamps a chunk's transmission time for RTT accounting.
+func (w *Writer) noteSent(seq uint32) {
+	w.rttMu.Lock()
+	w.inflight[seq] = time.Now()
+	w.rttMu.Unlock()
+}
+
+// noteAcked observes the round trip of every in-flight chunk below the
+// cumulative acknowledgement watermark (next), or of all of them when the
+// receiver confirmed the whole stream (all true).
+func (w *Writer) noteAcked(next uint32, all bool) {
+	now := time.Now()
+	w.rttMu.Lock()
+	for seq, at := range w.inflight {
+		if all || seq < next {
+			mAckRTT.Observe(now.Sub(at))
+			delete(w.inflight, seq)
+		}
+	}
+	w.rttMu.Unlock()
+}
+
 // txLoop drains the chunk queue onto the transport and finishes with FIN.
 func (w *Writer) txLoop() {
 	for c := range w.sendq {
+		w.noteSent(c.seq)
 		if err := w.t.Send(marshalData(c, crc32.ChecksumIEEE(c.payload))); err != nil {
 			w.fail(fmt.Errorf("stream: chunk %d send: %w", c.seq, err))
 			// Keep draining so the producer never blocks on a dead queue.
@@ -125,7 +155,9 @@ func (w *Writer) recvLoop() {
 		}
 		switch m.typ {
 		case msgAck:
-			// Plain writers bound memory by the send queue alone.
+			// Plain writers bound memory by the send queue alone; the
+			// watermark still times the chunks it passes.
+			w.noteAcked(m.seq, false)
 		case msgNack:
 			w.fail(fmt.Errorf("stream: receiver rejected chunk %d and no session to rewind", m.seq))
 			return
@@ -133,6 +165,7 @@ func (w *Writer) recvLoop() {
 			// The receiver only sends DONE after verifying the FIN
 			// totals, so its byte count is authoritative; re-checking
 			// against w.bytes here would race with the producer.
+			w.noteAcked(0, true)
 			return
 		default:
 			w.fail(fmt.Errorf("%w: unexpected %d message from receiver", ErrProtocol, m.typ))

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"time"
+
 	"repro/internal/obs"
 	"repro/internal/xdr"
 )
@@ -16,21 +18,29 @@ var (
 	mEncodeBytes = obs.Default.Counter("xdr.encode.bytes")
 	mDecodeCalls = obs.Default.Counter("xdr.decode.calls")
 	mDecodeBytes = obs.Default.Counter("xdr.decode.bytes")
+	// Whole-operation and per-section latency distributions, the VM's
+	// contribution to the phase histograms the obs report quantiles.
+	mCaptureLat     = obs.Default.Histogram("vm.capture.latency")
+	mRestoreLat     = obs.Default.Histogram("vm.restore.latency")
+	mSectionEncode  = obs.Default.Histogram("vm.section.encode")
+	mSectionRestore = obs.Default.Histogram("vm.section.restore")
 )
 
 // flushCapture publishes one completed capture's encoder counters. The
 // calls figure is the top-level snapshot encoder's: section bodies built
 // by pool workers on private encoders appear as the single PutFixedOpaque
 // that splices each into the stream.
-func flushCapture(enc *xdr.Encoder) {
+func flushCapture(enc *xdr.Encoder, elapsed time.Duration) {
 	mCaptures.Inc()
 	mEncodeCalls.Add(int64(enc.Calls()))
 	mEncodeBytes.Add(int64(enc.Len()))
+	mCaptureLat.Observe(elapsed)
 }
 
 // flushRestore publishes one completed restore's decoder counters.
-func flushRestore(calls, bytes int) {
+func flushRestore(calls, bytes int, elapsed time.Duration) {
 	mRestores.Inc()
 	mDecodeCalls.Add(int64(calls))
 	mDecodeBytes.Add(int64(bytes))
+	mRestoreLat.Observe(elapsed)
 }

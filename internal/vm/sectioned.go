@@ -119,6 +119,7 @@ func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, wor
 		c.SetSection(s.Kind.String(), s.ID)
 		c.SetBytes(int64(len(s.Body)))
 		c.SetDuration(elapsed)
+		mSectionEncode.Observe(elapsed)
 	}
 	appendSec(snapshot.Section{Kind: snapshot.KindExec, Body: execBody}, execElapsed)
 	for i, h := range st.Heap {
@@ -142,7 +143,7 @@ func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, wor
 	p.sectionCapture = breakdown
 	p.sectionWorkers = st.Workers
 	span.SetBytes(int64(enc.Len()))
-	flushCapture(enc)
+	flushCapture(enc, p.captureStats.Elapsed)
 	return nil
 }
 
@@ -268,6 +269,7 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 		c.SetSection(sec.Kind.String(), sec.ID)
 		c.SetBytes(int64(len(sec.Body)))
 		c.SetDuration(secElapsed)
+		mSectionRestore.Observe(secElapsed)
 	}
 	for d := 1; d <= nframes; d++ {
 		if !framesSeen[d-1] {
@@ -287,7 +289,7 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 	p.restoreElapsed = time.Since(restoreStart)
 	p.sectionRestore = breakdown
 	span.SetBytes(int64(len(state)))
-	flushRestore(dec.Calls(), len(state))
+	flushRestore(dec.Calls(), len(state), p.restoreElapsed)
 	return nil
 }
 

@@ -179,7 +179,7 @@ func (p *Process) captureStateTo(enc *xdr.Encoder, innermost *minic.Site) error 
 	p.sectionCapture = nil
 	p.sectionWorkers = 0
 	span.SetBytes(int64(enc.Len()))
-	flushCapture(enc)
+	flushCapture(enc, p.captureStats.Elapsed)
 	return nil
 }
 
@@ -287,7 +287,7 @@ func (p *Process) restoreState(state []byte) error {
 	p.restoreStats = restorer.Stats
 	p.restoreElapsed = time.Since(restoreStart)
 	span.SetBytes(int64(len(state)))
-	flushRestore(dec.Calls(), len(state))
+	flushRestore(dec.Calls(), len(state), p.restoreElapsed)
 	return nil
 }
 
