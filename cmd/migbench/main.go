@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead] [-quick] [-repeats N] [-json]
-//	         [-trace-dir DIR]
+//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store]
+//	         [-quick] [-repeats N] [-json] [-trace-dir DIR] [-store-dir DIR]
 package main
 
 import (
@@ -21,15 +21,16 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
 	jsonOut := flag.Bool("json", false, "also write each experiment's rows as BENCH_<exp>.json (obs report schema)")
 	traceDir := flag.String("trace-dir", "", "write each stitched trace as trace-<id>.json into this directory")
+	storeDir := flag.String("store-dir", "", "keep the E12 checkpoint stores under this directory (the CI fixture) instead of temp dirs")
 	flag.Parse()
 
-	cfg := exper.Config{Quick: *quick, Repeats: *repeats}
+	cfg := exper.Config{Quick: *quick, Repeats: *repeats, StoreDir: *storeDir}
 	run := func(name string) bool { return *expName == "all" || *expName == name }
 	failed := false
 	// Every BENCH_*.json is an obs.Report: the experiment's rows, the
@@ -237,6 +238,50 @@ func main() {
 		if st.ExitCode != 0 || !st.Stitched {
 			failed = true
 		}
+	}
+
+	if run("store") {
+		drows, err := exper.StoreDedup(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintStoreDedup(os.Stdout, drows)
+		for _, r := range drows {
+			if r.ExitCode != 0 {
+				failed = true
+			}
+			// The acceptance criterion: at the 10%-per-round mutation rate
+			// (interval 1), content addressing must dedup incremental
+			// checkpoints by at least 2x.
+			if r.Interval == 1 && r.Ratio < 2 {
+				fmt.Printf("FAIL: interval-1 dedup ratio %.2fx, want >= 2x\n\n", r.Ratio)
+				failed = true
+			}
+		}
+		wrows, err := exper.StoreWire(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintStoreWire(os.Stdout, wrows)
+		var coldBytes, warmSame int
+		for _, r := range wrows {
+			if r.ExitCode != 0 {
+				failed = true
+			}
+			switch r.Mode {
+			case "cold v3":
+				coldBytes = r.WireBytes
+			case "warm, unchanged":
+				warmSame = r.WireBytes
+			}
+		}
+		// The warm-cache criterion: re-migrating an unchanged process must
+		// cost under 10% of the cold transfer.
+		if coldBytes == 0 || warmSame*10 >= coldBytes {
+			fmt.Printf("FAIL: unchanged warm transfer %d B vs cold %d B, want < 10%%\n\n", warmSame, coldBytes)
+			failed = true
+		}
+		writeJSON("store", map[string]any{"dedup": drows, "wire": wrows})
 	}
 
 	if failed {

@@ -48,6 +48,7 @@ import (
 	"repro/internal/minic"
 	"repro/internal/obs"
 	"repro/internal/session"
+	"repro/internal/store"
 	"repro/internal/vm"
 )
 
@@ -66,6 +67,7 @@ type options struct {
 	pprofAddr      string
 	trace          bool
 	traceDir       string
+	store          *store.Store
 }
 
 // namedEngine pairs a compiled engine with its registry name (the program
@@ -117,6 +119,7 @@ func main() {
 	pprofAddr := fs.String("pprof", "", "serve: HTTP address for net/http/pprof and the /metrics JSON endpoint (empty disables)")
 	trace := fs.Bool("trace", false, "serve: log a per-session phase-span tree after each session")
 	traceDir := fs.String("trace-dir", "", "serve: dump a flight-<traceID>.json recording into this directory when a session fails (empty disables)")
+	storeDir := fs.String("store", "", "checkpoint store directory enabling warm (dedup'd) transfers with store-equipped peers (empty disables)")
 	fs.Parse(os.Args[2:])
 
 	m := lookupMachine(*machineName)
@@ -137,6 +140,14 @@ func main() {
 		trace:          *trace,
 		traceDir:       *traceDir,
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, obs.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migd:", err)
+			os.Exit(1)
+		}
+		opts.store = st
+	}
 	if mode == "serve" {
 		serve(engines, m, opts)
 	} else {
@@ -148,9 +159,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
-             [-pprof HOST:PORT] [-trace] [-trace-dir DIR]
+             [-pprof HOST:PORT] [-trace] [-trace-dir DIR] [-store DIR]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
-             [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]`)
+             [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]
+             [-store DIR]`)
 	os.Exit(2)
 }
 
@@ -195,7 +207,7 @@ func loadEngines(paths programList, mode string) []namedEngine {
 
 // sessionConfig builds this side's negotiation posture from the flags.
 func (o options) sessionConfig() session.Config {
-	cfg := session.Config{ChunkSize: o.chunkSize, Window: o.window}
+	cfg := session.Config{ChunkSize: o.chunkSize, Window: o.window, Store: o.store}
 	if o.noStream {
 		cfg.MaxVersion = core.VersionMono
 	}
@@ -271,6 +283,9 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		OnRestored: func(info session.Info, p *vm.Process, timing core.Timing) {
 			fmt.Printf("[migd %s] session %d: restored %q (%d bytes in %.4fs); resuming\n",
 				m.Name, info.ID, info.Program, timing.Bytes, timing.Restore.Seconds())
+			if info.Warm != nil {
+				fmt.Printf("[migd %s] session %d: warm transfer: %s\n", m.Name, info.ID, info.Warm)
+			}
 			if bd := p.SectionRestoreMetrics(); len(bd) > 0 {
 				fmt.Printf("[migd %s] session %d: sections restored:\n%s", m.Name, info.ID, bd)
 			}
@@ -350,6 +365,9 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 	case core.VersionSectioned:
 		how = fmt.Sprintf("sectioned v%d, chunk %d, window %d, %d workers engaged",
 			prm.Version, prm.ChunkSize, prm.Window, p.SectionWorkersEngaged())
+	}
+	if sres.Warm != nil {
+		how = fmt.Sprintf("warm v%d, %s", prm.Version, sres.Warm)
 	}
 	fmt.Printf("[migd %s] migrated %d bytes (%s; collect %.4fs, tx %.4fs); terminating\n",
 		m.Name, sres.Timing.Bytes, how, sres.Timing.Collect.Seconds(), sres.Timing.Tx.Seconds())

@@ -27,6 +27,10 @@ type Config struct {
 	Quick bool
 	// Repeats is the min-of-N timing repetition count (default 3).
 	Repeats int
+	// StoreDir, when non-empty, roots the E12 checkpoint stores there
+	// (one subdirectory per interval) instead of a temp directory — the
+	// fixture CI uploads. The directory is created if absent.
+	StoreDir string
 }
 
 func (c Config) repeats() int {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/collect"
 	"repro/internal/core"
 	"repro/internal/snapshot"
+	"repro/internal/store"
 	"repro/internal/stream"
 )
 
@@ -42,7 +43,10 @@ func ClassifyFailure(err error) FailureClass {
 		errors.Is(err, snapshot.ErrBadSnapshot),
 		errors.Is(err, snapshot.ErrBadSection),
 		errors.Is(err, snapshot.ErrTruncated),
-		errors.Is(err, snapshot.ErrChecksum):
+		errors.Is(err, snapshot.ErrChecksum),
+		errors.Is(err, store.ErrCorrupt),
+		errors.Is(err, store.ErrBadManifest),
+		errors.Is(err, store.ErrNotFound):
 		return FailCorrupt
 	case errors.Is(err, collect.ErrMismatch),
 		errors.Is(err, core.ErrProgramMismatch),

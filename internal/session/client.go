@@ -29,6 +29,9 @@ type Result struct {
 	// tree shows the stitched whole; nil when the responder predates the
 	// extension or was not tracing.
 	Remote *obs.SpanData
+	// Warm is the dedup outcome of a warm (store-assisted) transfer; nil
+	// when the migration ran a cold path.
+	Warm *WarmStats
 }
 
 // Initiate negotiates a migration session for the stopped process p over t
@@ -53,6 +56,9 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 		window:  uint32(cfg.Window),
 		traceID: tc.TraceID,
 		spanID:  tc.SpanID,
+	}
+	if cfg.Store != nil && cfg.MaxVersion >= core.VersionSectioned {
+		o.caps |= capWarm
 	}
 	cfg.Recorder.Record("session.offer", "program %q digest %08x trace %s", program, o.digest, tc)
 	hsStart := time.Now()
@@ -82,9 +88,18 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	prm := m.params
 	prm.Trace = cfg.Trace
 	prm.Recorder = cfg.Recorder
+	// The responder echoes capWarm only when we advertised it, but guard
+	// on our own posture anyway: warm needs our store and the sectioned
+	// version.
+	prm.Warm = prm.Warm && cfg.Store != nil && prm.Version == core.VersionSectioned
+	if prm.Warm {
+		prm.Store = cfg.Store
+		prm.Program = program
+		prm.WarmResult = new(WarmStats)
+	}
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
-	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d", prm.Version, prm.ChunkSize, prm.Window)
-	path, err := pathFor(prm.Version)
+	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d warm=%v", prm.Version, prm.ChunkSize, prm.Window, prm.Warm)
+	path, err := pathFor(prm)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +130,7 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	if m.typ != msgRestored {
 		return nil, fmt.Errorf("%w: expected RESTORED, got message type %d", ErrProtocol, m.typ)
 	}
-	res := &Result{Params: prm, Timing: timing, Trace: tc}
+	res := &Result{Params: prm, Timing: timing, Trace: tc, Warm: prm.WarmResult}
 	if len(m.spans) > 0 {
 		// The responder shipped its exported span tree: graft it under our
 		// session span so one render shows the whole migration.

@@ -76,6 +76,9 @@ type Info struct {
 	// responder adopts the trace ID and mints its own span ID under it);
 	// zero when the initiator was untraced.
 	Trace obs.TraceContext
+	// Warm is the dedup outcome of a warm (store-assisted) transfer; nil
+	// when the session ran a cold path.
+	Warm *WarmStats
 }
 
 // Respond serves exactly one inbound migration session on t: it reads the
@@ -127,17 +130,25 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	}
 	prm.Trace = cfg.Trace
 	prm.Recorder = cfg.Recorder
+	// Warm transfer needs the sectioned version, the initiator's capWarm,
+	// and a store on this side; the echoed ACCEPT capability commits to it.
+	prm.Warm = o.caps&capWarm != 0 && cfg.Store != nil && prm.Version == core.VersionSectioned
+	if prm.Warm {
+		prm.Store = cfg.Store
+		prm.Program = name
+		prm.WarmResult = new(WarmStats)
+	}
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
 	cfg.Trace.SetAttr("program", name)
-	info := Info{Program: name, SrcMachine: o.machine, Params: prm, Trace: tc}
-	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d", name, prm.Version, prm.ChunkSize, prm.Window)
+	info := Info{Program: name, SrcMachine: o.machine, Params: prm, Trace: tc, Warm: prm.WarmResult}
+	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d warm=%v", name, prm.Version, prm.ChunkSize, prm.Window, prm.Warm)
 	err = t.Send(marshalAccept(prm))
 	hs.End()
 	cfg.observePhase("handshake", time.Since(hsStart))
 	if err != nil {
 		return info, nil, core.Timing{}, fmt.Errorf("session: accept send: %w", err)
 	}
-	path, err := pathFor(prm.Version)
+	path, err := pathFor(prm)
 	if err != nil {
 		return info, nil, core.Timing{}, err
 	}

@@ -41,7 +41,11 @@ func FuzzHandshake(f *testing.F) {
 	traced.traceID, traced.spanID = 0x0123456789abcdef, 0xfedcba9876543210
 	f.Add(marshalOffer(traced))
 	f.Add(legacyOffer(of)) // pre-tracing layout: must still parse
+	warm := traced
+	warm.caps = capWarm
+	f.Add(marshalOffer(warm))
 	f.Add(marshalAccept(Params{Version: 2, ChunkSize: 65536, Window: 16}))
+	f.Add(marshalAccept(Params{Version: 3, ChunkSize: 65536, Window: 16, Warm: true}))
 	f.Add(marshalReject("session: no common protocol version"))
 	f.Add(marshalRestored(1<<20, nil))
 	f.Add(marshalRestored(1<<20, []byte(`{"name":"session","dur_us":42}`)))
@@ -90,7 +94,7 @@ func FuzzHandshake(f *testing.F) {
 			t.Fatalf("re-marshal spans differ: %q vs %q", m2.spans, m.spans)
 		}
 		if m2.params.Version != m.params.Version || m2.params.ChunkSize != m.params.ChunkSize ||
-			m2.params.Window != m.params.Window {
+			m2.params.Window != m.params.Window || m2.params.Warm != m.params.Warm {
 			t.Fatalf("re-marshal params differ: %+v vs %+v", m2.params, m.params)
 		}
 	})

@@ -23,9 +23,17 @@ type Path interface {
 	Receive(t link.Transport, e *core.Engine, m *arch.Machine, prm Params) (*vm.Process, core.Timing, error)
 }
 
-// pathFor maps a negotiated version to its Path.
-func pathFor(version uint32) (Path, error) {
-	switch version {
+// pathFor maps a negotiated outcome to its Path. The warm store-assisted
+// path replaces the plain sectioned transfer when both sides agreed to it
+// during the handshake.
+func pathFor(prm Params) (Path, error) {
+	if prm.Warm {
+		if prm.Version != core.VersionSectioned || prm.Store == nil {
+			return nil, fmt.Errorf("%w: warm transfer without sectioned version and store", ErrProtocol)
+		}
+		return warmPath{}, nil
+	}
+	switch prm.Version {
 	case core.VersionMono:
 		return monoPath{}, nil
 	case core.VersionStream:
@@ -33,7 +41,7 @@ func pathFor(version uint32) (Path, error) {
 	case core.VersionSectioned:
 		return sectionedPath{}, nil
 	}
-	return nil, fmt.Errorf("%w: no transfer path for version %d", ErrProtocol, version)
+	return nil, fmt.Errorf("%w: no transfer path for version %d", ErrProtocol, prm.Version)
 }
 
 // monoPath is the paper's stop-and-copy transfer: collect everything, seal

@@ -33,23 +33,32 @@
 //
 //	offer    = magic, OFFER, minVer u32, maxVer u32, digest u32,
 //	           program string, machine string, chunk u32, window u32
-//	           [, traceID u64, spanID u64]
+//	           [, traceID u64, spanID u64 [, caps u32]]
 //	accept   = magic, ACCEPT, version u32, chunk u32, window u32
+//	           [, caps u32]
 //	reject   = magic, REJECT, reason string
 //	restored = magic, RESTORED, bytes u64 [, spans opaque]
 //
-// The bracketed fields are the distributed-tracing extension and are
-// backward compatible in both directions: an old initiator's offer simply
-// ends after window (the parser treats exact end-of-buffer as "no trace
-// context"), and an old responder never reads past window, so the trailing
-// pair is ignored. Likewise RESTORED may carry the responder's exported
-// span tree (JSON, XDR-opaque-framed) after the byte count; old initiators
-// stop reading after bytes. traceID zero means "untraced".
+// The bracketed fields are extensions and are backward compatible in both
+// directions: an old initiator's offer simply ends after window (the
+// parser treats exact end-of-buffer as "no trace context"), and an old
+// responder never reads past window, so the trailing fields are ignored.
+// Likewise RESTORED may carry the responder's exported span tree (JSON,
+// XDR-opaque-framed) after the byte count; old initiators stop reading
+// after bytes. traceID zero means "untraced". caps is a capability bitmap
+// (capWarm advertises a checkpoint store); a zero capability set is not
+// encoded at all, so a store-less peer's frames are byte-identical to the
+// pre-store protocol.
 //
 // Between ACCEPT and RESTORED the transport belongs to the selected Path:
 // one sealed envelope frame for version 1, the internal/stream protocol
 // for versions 2 and 3 (version 3 carries a sectioned snapshot as the
-// stream payload).
+// stream payload). When both sides advertised capWarm and version 3 was
+// agreed, the warm path runs instead (internal/session warm.go): the
+// initiator checkpoints into its store and sends the MANIFEST, the
+// responder replies WANT with the indices of section bodies its own store
+// lacks, and a single SECTIONS message carries only those bodies — an
+// unchanged process re-migrating transfers a manifest and nothing else.
 package session
 
 import (
@@ -59,6 +68,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/xdr"
 )
 
@@ -71,6 +81,23 @@ const (
 	msgAccept
 	msgReject
 	msgRestored
+	// Warm-migration messages (the HAVE/WANT exchange; only ever sent
+	// when both sides advertised capWarm during the handshake).
+	msgManifest
+	msgWant
+	msgSections
+)
+
+// Capability bits, carried as an optional trailing u32 on OFFER and
+// ACCEPT. A zero capability set is not encoded at all, so a peer without
+// capabilities emits handshake frames byte-identical to the pre-extension
+// protocol, and legacy parsers — which ignore trailing bytes — never see
+// the field.
+const (
+	// capWarm: this side holds a checkpoint store and can run the warm
+	// path — manifest first, then only the section bodies the receiver's
+	// store lacks.
+	capWarm uint32 = 1 << 0
 )
 
 // Errors reported by the session layer.
@@ -114,6 +141,13 @@ type Config struct {
 	// the session (phase transitions, negotiation outcomes) and is
 	// propagated into the stream layer's robustness events. Nil disables.
 	Recorder *obs.FlightRecorder
+	// Store, when set, is this side's content-addressed checkpoint store
+	// and enables warm migration: the handshake advertises capWarm, and
+	// when both sides hold a store and negotiate the sectioned version,
+	// the transfer sends a manifest plus only the section bodies the
+	// destination's store lacks. Nil keeps the handshake byte-identical
+	// to the pre-store protocol.
+	Store *store.Store
 }
 
 // metrics resolves the registry the phase histograms observe into.
@@ -161,6 +195,17 @@ type Params struct {
 	// Recorder is the flight recorder the selected path's stream layer
 	// reports robustness events to. Local plumbing like Trace.
 	Recorder *obs.FlightRecorder
+	// Warm selects the warm transfer path: both sides advertised capWarm
+	// and the negotiated version is sectioned. Crosses the wire as the
+	// ACCEPT capability bit; everything below is local plumbing.
+	Warm bool
+	// Store is this side's checkpoint store (set only when Warm).
+	Store *store.Store
+	// Program names the checkpoint ref the warm path chains under.
+	Program string
+	// WarmResult, when non-nil, is filled by the warm path with the
+	// dedup outcome of the transfer.
+	WarmResult *WarmStats
 }
 
 // offer is the decoded OFFER message.
@@ -173,6 +218,9 @@ type offer struct {
 	// traceID and spanID carry the initiator's distributed-trace identity
 	// (zero when the initiator does not trace or predates the extension).
 	traceID, spanID uint64
+	// caps is the initiator's capability set (zero when absent from the
+	// wire — a legacy peer or one with nothing to advertise).
+	caps uint32
 }
 
 // negotiate intersects an initiator's offer with the responder's posture:
@@ -221,16 +269,25 @@ func marshalOffer(o offer) []byte {
 	e.PutUint32(o.window)
 	e.PutUint64(o.traceID)
 	e.PutUint64(o.spanID)
+	if o.caps != 0 {
+		// Trailing and optional, like the trace pair: a capability-less
+		// offer stays byte-identical to the pre-store wire format.
+		e.PutUint32(o.caps)
+	}
 	return e.Bytes()
 }
 
 func marshalAccept(p Params) []byte {
-	e := xdr.NewEncoder(20)
+	e := xdr.NewEncoder(24)
 	e.PutUint32(sessionMagic)
 	e.PutUint32(msgAccept)
 	e.PutUint32(p.Version)
 	e.PutUint32(uint32(p.ChunkSize))
 	e.PutUint32(uint32(p.Window))
+	if p.Warm {
+		// Trailing and optional: legacy initiators stop after window.
+		e.PutUint32(capWarm)
+	}
 	return e.Bytes()
 }
 
@@ -277,8 +334,17 @@ func parseMessage(raw []byte) (message, error) {
 		if chunk, err = d.Uint32(); err != nil {
 			break
 		}
-		window, err = d.Uint32()
+		if window, err = d.Uint32(); err != nil {
+			break
+		}
 		m.params = Params{Version: ver, ChunkSize: int(chunk), Window: int(window)}
+		if d.Remaining() > 0 {
+			var caps uint32
+			if caps, err = d.Uint32(); err != nil {
+				break
+			}
+			m.params.Warm = caps&capWarm != 0
+		}
 	case msgReject:
 		m.reason, err = d.String()
 	case msgRestored:
@@ -327,6 +393,13 @@ func parseOffer(d *xdr.Decoder, o *offer) error {
 	if o.traceID, err = d.Uint64(); err != nil {
 		return err
 	}
-	o.spanID, err = d.Uint64()
+	if o.spanID, err = d.Uint64(); err != nil {
+		return err
+	}
+	if d.Remaining() == 0 {
+		// Pre-capability offer: ends after the trace pair.
+		return nil
+	}
+	o.caps, err = d.Uint32()
 	return err
 }

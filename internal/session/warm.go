@@ -1,0 +1,252 @@
+package session
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/store"
+	"repro/internal/vm"
+	"repro/internal/xdr"
+)
+
+// WarmStats is the dedup outcome of one warm transfer: how much of the
+// snapshot never crossed the wire because the destination's store already
+// held it.
+type WarmStats struct {
+	// ManifestHash is the content address of the checkpoint the transfer
+	// shipped; both stores hold it (and its chain position) afterwards.
+	ManifestHash store.Hash
+	// Sections is the snapshot's section count; SectionsSent of them had
+	// bodies the destination lacked and were transferred.
+	Sections     int
+	SectionsSent int
+	// SnapshotBytes is the full sectioned snapshot size a cold transfer
+	// would have carried; WireBytes is what the warm path actually put on
+	// the wire (manifest frame plus the wanted-section frame).
+	SnapshotBytes int
+	WireBytes     int
+}
+
+func (w WarmStats) String() string {
+	return fmt.Sprintf("checkpoint %s: sent %d of %d sections, %d of %d bytes on the wire",
+		w.ManifestHash.Short(), w.SectionsSent, w.Sections, w.WireBytes, w.SnapshotBytes)
+}
+
+// marshalManifest frames an encoded manifest as the warm path's MANIFEST
+// message.
+func marshalManifest(raw []byte) []byte {
+	e := xdr.NewEncoder(12 + len(raw))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgManifest)
+	e.PutOpaque(raw)
+	return e.Bytes()
+}
+
+// marshalWant frames the responder's section-index request.
+func marshalWant(want []uint32) []byte {
+	e := xdr.NewEncoder(12 + 4*len(want))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgWant)
+	e.PutUint32(uint32(len(want)))
+	for _, i := range want {
+		e.PutUint32(i)
+	}
+	return e.Bytes()
+}
+
+// marshalSections frames the wanted section bodies, each tagged with its
+// manifest entry index.
+func marshalSections(indices []uint32, bodies [][]byte) []byte {
+	n := 12
+	for _, b := range bodies {
+		n += 8 + len(b)
+	}
+	e := xdr.NewEncoder(n)
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgSections)
+	e.PutUint32(uint32(len(indices)))
+	for i, idx := range indices {
+		e.PutUint32(idx)
+		e.PutOpaque(bodies[i])
+	}
+	return e.Bytes()
+}
+
+// recvWarm reads one warm-path message frame, checks its type, and reports
+// the frame's wire size.
+func recvWarm(t link.Transport, want uint32) (*xdr.Decoder, int, error) {
+	raw, err := t.Recv()
+	if err != nil {
+		return nil, 0, fmt.Errorf("session: warm transfer read: %w", err)
+	}
+	d := xdr.NewDecoder(raw)
+	magic, err := d.Uint32()
+	if err != nil || magic != sessionMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: missing type", ErrProtocol)
+	}
+	if typ != want {
+		return nil, 0, fmt.Errorf("%w: expected warm message type %d, got %d", ErrProtocol, want, typ)
+	}
+	return d, len(raw), nil
+}
+
+// warmPath is the store-assisted transfer: the initiator checkpoints the
+// snapshot into its own store (dedup'd against its history) and ships the
+// manifest; the responder answers with the indices of the section bodies
+// its store lacks; one SECTIONS frame carries exactly those. Both stores
+// end up holding the same checkpoint chained under the program's ref, and
+// the responder restores from its store — re-verifying every content
+// address on the way.
+type warmPath struct{}
+
+func (warmPath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	p.Obs = prm.Trace
+	snap, err := p.CaptureSections(0)
+	if err != nil {
+		return core.Timing{}, err
+	}
+	m, h, _, err := prm.Store.CheckpointRef(prm.Program, snap, e.Digest(), src.Name)
+	if err != nil {
+		return core.Timing{}, err
+	}
+	tx := prm.Trace.Child("transport")
+	defer tx.End()
+	txStart := time.Now()
+	manifestFrame := marshalManifest(m.Encode())
+	if err := t.Send(manifestFrame); err != nil {
+		return core.Timing{}, fmt.Errorf("session: manifest send: %w", err)
+	}
+	d, _, err := recvWarm(t, msgWant)
+	if err != nil {
+		return core.Timing{}, err
+	}
+	count, err := d.Uint32()
+	if err != nil || int(count) > len(m.Entries) {
+		return core.Timing{}, fmt.Errorf("%w: malformed WANT", ErrProtocol)
+	}
+	indices := make([]uint32, count)
+	bodies := make([][]byte, count)
+	for i := range indices {
+		idx, err := d.Uint32()
+		if err != nil || int(idx) >= len(m.Entries) {
+			return core.Timing{}, fmt.Errorf("%w: WANT index out of range", ErrProtocol)
+		}
+		body, err := prm.Store.GetBlob(m.Entries[idx].Hash)
+		if err != nil {
+			return core.Timing{}, err
+		}
+		indices[i], bodies[i] = idx, body
+	}
+	sectionsFrame := marshalSections(indices, bodies)
+	if err := t.Send(sectionsFrame); err != nil {
+		return core.Timing{}, fmt.Errorf("session: sections send: %w", err)
+	}
+	wire := len(manifestFrame) + len(sectionsFrame)
+	tx.SetBytes(int64(wire))
+	prm.Recorder.Record("session.warm", "sent checkpoint %s: %d of %d sections (%d bytes on wire, snapshot %d)",
+		h.Short(), count, len(m.Entries), wire, len(snap))
+	if prm.WarmResult != nil {
+		*prm.WarmResult = WarmStats{
+			ManifestHash:  h,
+			Sections:      len(m.Entries),
+			SectionsSent:  int(count),
+			SnapshotBytes: len(snap),
+			WireBytes:     wire,
+		}
+	}
+	return core.Timing{Tx: time.Since(txStart), Bytes: wire}, nil
+}
+
+func (warmPath) Receive(t link.Transport, e *core.Engine, mach *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
+	d, n, err := recvWarm(t, msgManifest)
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	raw, err := d.Opaque()
+	if err != nil {
+		return nil, core.Timing{}, fmt.Errorf("%w: truncated MANIFEST", ErrProtocol)
+	}
+	wire := n
+	m, err := store.DecodeManifest(raw)
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	if m.ProgramDigest != e.Digest() {
+		return nil, core.Timing{}, fmt.Errorf("%w: manifest has program digest %08x, registry matched %08x",
+			core.ErrProgramMismatch, m.ProgramDigest, e.Digest())
+	}
+	want := prm.Store.Missing(m)
+	if err := t.Send(marshalWant(want)); err != nil {
+		return nil, core.Timing{}, fmt.Errorf("session: want send: %w", err)
+	}
+	wanted := make(map[uint32]bool, len(want))
+	for _, i := range want {
+		wanted[i] = true
+	}
+	d, n, err = recvWarm(t, msgSections)
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	wire += n
+	count, err := d.Uint32()
+	if err != nil || int(count) != len(want) {
+		return nil, core.Timing{}, fmt.Errorf("%w: SECTIONS carries %d bodies, wanted %d", ErrProtocol, count, len(want))
+	}
+	for i := uint32(0); i < count; i++ {
+		idx, err := d.Uint32()
+		if err != nil || !wanted[idx] {
+			return nil, core.Timing{}, fmt.Errorf("%w: unexpected SECTIONS index", ErrProtocol)
+		}
+		delete(wanted, idx)
+		body, err := d.Opaque()
+		if err != nil {
+			return nil, core.Timing{}, fmt.Errorf("%w: truncated SECTIONS body", ErrProtocol)
+		}
+		entry := m.Entries[idx]
+		// The manifest promises a body with this content address; verify
+		// before admitting it to the store so a damaged transfer surfaces
+		// as corruption here, not at some later restore.
+		if uint32(len(body)) != entry.Length || store.HashBytes(body) != entry.Hash {
+			return nil, core.Timing{}, fmt.Errorf("%w: section %d body does not match its manifest entry",
+				store.ErrCorrupt, idx)
+		}
+		if _, _, err := prm.Store.PutBlob(body); err != nil {
+			return nil, core.Timing{}, err
+		}
+	}
+	h, err := prm.Store.PutManifest(m)
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	if err := prm.Store.SetRef(prm.Program, h); err != nil {
+		return nil, core.Timing{}, err
+	}
+	snap, err := prm.Store.Materialize(h)
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	prm.Recorder.Record("session.warm", "received checkpoint %s: %d of %d sections (%d bytes on wire, snapshot %d)",
+		h.Short(), count, len(m.Entries), wire, len(snap))
+	if prm.WarmResult != nil {
+		*prm.WarmResult = WarmStats{
+			ManifestHash:  h,
+			Sections:      len(m.Entries),
+			SectionsSent:  int(count),
+			SnapshotBytes: len(snap),
+			WireBytes:     wire,
+		}
+	}
+	restoreStart := time.Now()
+	p, err := vm.RestoreProcessObs(e.Prog, mach, snap, prm.Trace)
+	if err != nil {
+		return nil, core.Timing{}, err
+	}
+	return p, core.Timing{Restore: time.Since(restoreStart), Bytes: wire}, nil
+}

@@ -1,0 +1,321 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/vm"
+	"repro/internal/xdr"
+)
+
+func openTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir(), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// transferWith runs the full protocol over a pipe with distinct initiator
+// and responder configs — the store fields make the two sides genuinely
+// asymmetric, which Transfer's shared-config convenience cannot express.
+func transferWith(t *testing.T, e *core.Engine, program string, p *vm.Process, dst *arch.Machine, srcCfg, dstCfg Config) (*Result, Info, *vm.Process) {
+	t.Helper()
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add(program, e)
+	type rr struct {
+		info Info
+		q    *vm.Process
+		err  error
+	}
+	c := make(chan rr, 1)
+	go func() {
+		info, q, _, err := Respond(b, reg, dst, dstCfg)
+		if err != nil {
+			// Fail the initiator's pending reads so both sides join.
+			b.Close()
+		}
+		c <- rr{info, q, err}
+	}()
+	res, err := Initiate(a, e, p.Mach, program, p, srcCfg)
+	if err != nil {
+		a.Close()
+		b.Close()
+	}
+	r := <-c
+	if err != nil {
+		t.Fatalf("initiate: %v (responder: %v)", err, r.err)
+	}
+	if r.err != nil {
+		t.Fatalf("respond: %v", r.err)
+	}
+	return res, r.info, r.q
+}
+
+// runRestored drives a restored process to completion and checks the exit.
+func runRestored(t *testing.T, q *vm.Process, wantExit int) {
+	t.Helper()
+	q.MaxSteps = 10_000_000
+	res, err := q.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != wantExit {
+		t.Errorf("exit = %d, want %d", res.ExitCode, wantExit)
+	}
+}
+
+// warmListSrc is listSrc scaled to 400 nodes, so the snapshot dwarfs the
+// manifest and the <10%-of-cold wire criterion is meaningful.
+// 400*401/2 = 80200; 80200 % 128 = 72.
+const warmListSrc = `
+	struct node { float data; struct node *link; };
+	struct node *head;
+	int main() {
+		int i, sum;
+		struct node *c;
+		head = 0;
+		for (i = 1; i <= 400; i++) {
+			c = (struct node *) malloc(sizeof(struct node));
+			c->data = i;
+			c->link = head;
+			head = c;
+		}
+		migrate_here();
+		sum = 0;
+		c = head;
+		while (c) {
+			sum += (int)c->data;
+			c = c->link;
+		}
+		return sum % 128;
+	}
+`
+
+const warmListExit = 72
+
+// TestWarmTransferColdThenWarm covers the store-assisted path end to end:
+// the first migration fills the destination store (every section crosses),
+// a re-migration of an identical process transfers the manifest and
+// nothing else.
+func TestWarmTransferColdThenWarm(t *testing.T) {
+	e, err := core.NewEngine(warmListSrc, minic.PollPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcStore, dstStore := openTestStore(t), openTestStore(t)
+	srcCfg := Config{Store: srcStore}
+	dstCfg := Config{Store: dstStore}
+
+	// Cold-path baseline: the plain sectioned transfer's wire size for the
+	// same stopped state.
+	pb := stoppedAt(t, e, arch.DEC5000)
+	baselineRes, _, qb := transferWith(t, e, "list", pb, arch.SPARC20, Config{}, Config{})
+	baseline := baselineRes.Timing
+	runRestored(t, qb, warmListExit)
+
+	p1 := stoppedAt(t, e, arch.DEC5000)
+	res1, info1, q1 := transferWith(t, e, "list", p1, arch.SPARC20, srcCfg, dstCfg)
+	if res1.Warm == nil || info1.Warm == nil {
+		t.Fatal("warm stats missing from a store-to-store transfer")
+	}
+	if res1.Warm.Sections == 0 || res1.Warm.SectionsSent != res1.Warm.Sections {
+		t.Errorf("first transfer into an empty store: sent %d of %d sections, want all",
+			res1.Warm.SectionsSent, res1.Warm.Sections)
+	}
+	if info1.Warm.ManifestHash != res1.Warm.ManifestHash {
+		t.Error("initiator and responder disagree on the checkpoint shipped")
+	}
+	runRestored(t, q1, warmListExit)
+
+	// Both stores hold the checkpoint under the program ref.
+	for name, s := range map[string]*store.Store{"src": srcStore, "dst": dstStore} {
+		h, ok, err := s.Ref("list")
+		if err != nil || !ok || h != res1.Warm.ManifestHash {
+			t.Fatalf("%s store ref: hash %s ok=%v err=%v, want %s",
+				name, h.Short(), ok, err, res1.Warm.ManifestHash.Short())
+		}
+	}
+
+	// An identical process re-migrates warm: the destination already holds
+	// every section body, so only the manifest crosses the wire.
+	p2 := stoppedAt(t, e, arch.DEC5000)
+	res2, _, q2 := transferWith(t, e, "list", p2, arch.SPARC20, srcCfg, dstCfg)
+	if res2.Warm == nil {
+		t.Fatal("second transfer not warm")
+	}
+	if res2.Warm.SectionsSent != 0 {
+		t.Errorf("unchanged process re-sent %d sections", res2.Warm.SectionsSent)
+	}
+	if res2.Warm.WireBytes*10 >= baseline.Bytes {
+		t.Errorf("unchanged warm transfer used %d wire bytes, want < 10%% of the %d-byte cold transfer",
+			res2.Warm.WireBytes, baseline.Bytes)
+	}
+	runRestored(t, q2, warmListExit)
+
+	// The second checkpoint chains onto the first in both stores.
+	m2, err := dstStore.GetManifest(res2.Warm.ManifestHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Seq != 2 || m2.Parent != res1.Warm.ManifestHash {
+		t.Errorf("second checkpoint: seq %d parent %s, want 2 / %s",
+			m2.Seq, m2.Parent.Short(), res1.Warm.ManifestHash.Short())
+	}
+}
+
+// TestWarmFallsBackToLegacyPeer pins the interop contract: a store-less
+// peer on either side demotes the session to the plain sectioned path,
+// with the same wire byte count a pure-legacy pairing produces.
+func TestWarmFallsBackToLegacyPeer(t *testing.T) {
+	e := newListEngine(t)
+	legacy := runTransfer(t, Config{})
+
+	cases := []struct {
+		name           string
+		srcCfg, dstCfg Config
+	}{
+		{"responder without store", Config{Store: openTestStore(t)}, Config{}},
+		{"initiator without store", Config{}, Config{Store: openTestStore(t)}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := stoppedAt(t, e, arch.DEC5000)
+			res, info, q := transferWith(t, e, "list", p, arch.SPARC20, c.srcCfg, c.dstCfg)
+			if res.Warm != nil || info.Warm != nil {
+				t.Error("mixed pairing reported warm stats")
+			}
+			if res.Params.Version != core.VersionSectioned {
+				t.Errorf("negotiated v%d, want sectioned", res.Params.Version)
+			}
+			if res.Timing.Bytes != legacy.Bytes {
+				t.Errorf("fallback transfer wired %d bytes, pure-legacy wired %d — must be identical",
+					res.Timing.Bytes, legacy.Bytes)
+			}
+			runRestored(t, q, listExit)
+		})
+	}
+}
+
+// TestHandshakeBytesWithoutStore pins the frame-level interop contract: a
+// build that has no store emits OFFER and ACCEPT frames byte-identical to
+// the pre-capability protocol, so legacy peers cannot tell the difference.
+func TestHandshakeBytesWithoutStore(t *testing.T) {
+	o := offer{
+		minVer: 1, maxVer: 3, digest: 0xcafe, program: "list",
+		machine: "dec5000", chunk: 4096, window: 8,
+		traceID: 0x1111, spanID: 0x2222,
+	}
+	pre := xdr.NewEncoder(64)
+	pre.PutUint32(sessionMagic)
+	pre.PutUint32(msgOffer)
+	pre.PutUint32(o.minVer)
+	pre.PutUint32(o.maxVer)
+	pre.PutUint32(o.digest)
+	pre.PutString(o.program)
+	pre.PutString(o.machine)
+	pre.PutUint32(o.chunk)
+	pre.PutUint32(o.window)
+	pre.PutUint64(o.traceID)
+	pre.PutUint64(o.spanID)
+	if !bytes.Equal(marshalOffer(o), pre.Bytes()) {
+		t.Error("capability-less OFFER is not byte-identical to the pre-store frame")
+	}
+
+	acc := xdr.NewEncoder(20)
+	acc.PutUint32(sessionMagic)
+	acc.PutUint32(msgAccept)
+	acc.PutUint32(3)
+	acc.PutUint32(4096)
+	acc.PutUint32(8)
+	if !bytes.Equal(marshalAccept(Params{Version: 3, ChunkSize: 4096, Window: 8}), acc.Bytes()) {
+		t.Error("cold ACCEPT is not byte-identical to the pre-store frame")
+	}
+
+	// And with a store, the only difference is the trailing capability.
+	warm := o
+	warm.caps = capWarm
+	got := marshalOffer(warm)
+	if len(got) != len(pre.Bytes())+4 || !bytes.Equal(got[:len(got)-4], pre.Bytes()) {
+		t.Error("capWarm OFFER is not the legacy frame plus one trailing word")
+	}
+	parsed, err := parseMessage(got)
+	if err != nil || parsed.offer.caps != capWarm {
+		t.Errorf("capWarm OFFER parse: caps %x err %v", parsed.offer.caps, err)
+	}
+}
+
+// corruptingTransport flips a body byte in every frame its predicate
+// selects, leaving other traffic untouched.
+type corruptingTransport struct {
+	link.Transport
+	match func([]byte) bool
+}
+
+func (c corruptingTransport) Send(b []byte) error {
+	if c.match(b) {
+		evil := append([]byte(nil), b...)
+		// Flip inside the final section body: the last three bytes may be
+		// XDR padding, byte len-6 never is.
+		evil[len(evil)-6] ^= 0xff
+		return c.Transport.Send(evil)
+	}
+	return c.Transport.Send(b)
+}
+
+// TestWarmRejectsCorruptSectionBody damages a SECTIONS frame in flight:
+// the responder must refuse the body (its hash no longer matches the
+// manifest entry) with an error classified as corrupt-stream, and its
+// store must not retain the damaged checkpoint's manifest.
+func TestWarmRejectsCorruptSectionBody(t *testing.T) {
+	e := newListEngine(t)
+	p := stoppedAt(t, e, arch.DEC5000)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("list", e)
+	dstStore := openTestStore(t)
+	type rr struct{ err error }
+	c := make(chan rr, 1)
+	go func() {
+		_, _, _, err := Respond(b, reg, arch.SPARC20, Config{Store: dstStore})
+		if err != nil {
+			// Fail the initiator's pending confirm read so it joins.
+			b.Close()
+		}
+		c <- rr{err}
+	}()
+	mangled := corruptingTransport{Transport: a, match: func(f []byte) bool {
+		// A session frame's type word is bytes 4..8 (XDR big-endian).
+		return len(f) > 64 && f[7] == byte(msgSections)
+	}}
+	_, err := Initiate(mangled, e, p.Mach, "list", p, Config{Store: openTestStore(t)})
+	a.Close()
+	b.Close()
+	r := <-c
+	if !errors.Is(r.err, store.ErrCorrupt) {
+		t.Fatalf("responder error = %v, want store.ErrCorrupt", r.err)
+	}
+	if ClassifyFailure(r.err) != FailCorrupt {
+		t.Errorf("classified %s, want %s", ClassifyFailure(r.err), FailCorrupt)
+	}
+	if err == nil {
+		t.Error("initiator completed against a failed responder")
+	}
+	// The destination store must not have adopted the damaged checkpoint.
+	if _, ok, _ := dstStore.Ref("list"); ok {
+		t.Error("destination ref advanced past a corrupt transfer")
+	}
+}

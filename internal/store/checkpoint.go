@@ -1,0 +1,161 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/snapshot"
+	"repro/internal/xdr"
+)
+
+// CheckpointStats is the dedup outcome of one checkpoint.
+type CheckpointStats struct {
+	// Sections is the snapshot's section count; NewBlobs of them had
+	// bodies the store did not already hold, DupBlobs were deduplicated.
+	Sections int
+	NewBlobs int
+	DupBlobs int
+	// SnapshotBytes is the full v3 snapshot size; WrittenBytes is what
+	// actually reached the disk (new bodies only), DedupedBytes the body
+	// bytes dedup avoided rewriting.
+	SnapshotBytes int64
+	WrittenBytes  int64
+	DedupedBytes  int64
+	Elapsed       time.Duration
+}
+
+// DedupRatio is snapshot bytes per written byte — how much the content
+// addressing compressed this checkpoint relative to storing it whole.
+func (c CheckpointStats) DedupRatio() float64 {
+	if c.WrittenBytes == 0 {
+		return float64(c.SnapshotBytes)
+	}
+	return float64(c.SnapshotBytes) / float64(c.WrittenBytes)
+}
+
+func (c CheckpointStats) String() string {
+	return fmt.Sprintf("%d sections (%d new, %d dedup), %d of %d bytes written (%.2fx dedup)",
+		c.Sections, c.NewBlobs, c.DupBlobs, c.WrittenBytes, c.SnapshotBytes, c.DedupRatio())
+}
+
+// Checkpoint records a sectioned (v3) snapshot: every section body is
+// stored under its content address (bodies already present are not
+// rewritten), and a manifest chaining to parent is stored and returned
+// with its address. A zero parent starts a new chain; a non-zero parent
+// must name a manifest the store holds.
+func (s *Store) Checkpoint(snap []byte, programDigest uint32, machine string, parent Hash) (*Manifest, Hash, CheckpointStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked(snap, programDigest, machine, parent)
+}
+
+// CheckpointRef is Checkpoint chaining from — and then advancing — the
+// named ref, all under one lock: the periodic "checkpoint this session
+// again" call. A ref that does not exist yet starts a new chain.
+func (s *Store) CheckpointRef(ref string, snap []byte, programDigest uint32, machine string) (*Manifest, Hash, CheckpointStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, _, err := s.Ref(ref)
+	if err != nil {
+		return nil, Hash{}, CheckpointStats{}, err
+	}
+	m, h, st, err := s.checkpointLocked(snap, programDigest, machine, parent)
+	if err != nil {
+		return nil, Hash{}, CheckpointStats{}, err
+	}
+	if err := s.setRefLocked(ref, h); err != nil {
+		return nil, Hash{}, CheckpointStats{}, err
+	}
+	return m, h, st, nil
+}
+
+func (s *Store) checkpointLocked(snap []byte, programDigest uint32, machine string, parent Hash) (*Manifest, Hash, CheckpointStats, error) {
+	start := time.Now()
+	m := &Manifest{ProgramDigest: programDigest, Machine: machine, Seq: 1, Parent: parent}
+	if !parent.IsZero() {
+		pm, err := s.GetManifest(parent)
+		if err != nil {
+			return nil, Hash{}, CheckpointStats{}, fmt.Errorf("store: checkpoint parent: %w", err)
+		}
+		m.Seq = pm.Seq + 1
+	}
+
+	dec := xdr.NewDecoder(snap)
+	rd, err := snapshot.NewReader(dec)
+	if err != nil {
+		return nil, Hash{}, CheckpointStats{}, fmt.Errorf("store: checkpoint: %w", err)
+	}
+	st := CheckpointStats{SnapshotBytes: int64(len(snap))}
+	m.Entries = make([]Entry, 0, rd.Remaining())
+	for rd.Remaining() > 0 {
+		sec, err := rd.Next()
+		if err != nil {
+			return nil, Hash{}, CheckpointStats{}, fmt.Errorf("store: checkpoint: %w", err)
+		}
+		h, fresh, err := s.putBlobLocked(sec.Body)
+		if err != nil {
+			return nil, Hash{}, CheckpointStats{}, err
+		}
+		if fresh {
+			st.NewBlobs++
+			st.WrittenBytes += int64(len(sec.Body))
+		} else {
+			st.DupBlobs++
+			st.DedupedBytes += int64(len(sec.Body))
+		}
+		m.Entries = append(m.Entries, Entry{Kind: sec.Kind, ID: sec.ID, Length: uint32(len(sec.Body)), Hash: h})
+	}
+	if dec.Remaining() != 0 {
+		return nil, Hash{}, CheckpointStats{}, fmt.Errorf("%w: %d trailing bytes after snapshot sections", ErrCorrupt, dec.Remaining())
+	}
+	st.Sections = len(m.Entries)
+
+	h, err := s.putManifestLocked(m)
+	if err != nil {
+		return nil, Hash{}, CheckpointStats{}, err
+	}
+	st.Elapsed = time.Since(start)
+	s.metrics.Counter("store.checkpoints").Inc()
+	s.metrics.Histogram("store.checkpoint.latency").Observe(st.Elapsed)
+	return m, h, st, nil
+}
+
+// Materialize reconstructs the exact v3 snapshot a manifest describes:
+// every body is fetched by content address (re-verified on read) and
+// framed back into the sectioned format in manifest order. The output is
+// byte-identical to the snapshot that was checkpointed.
+func (s *Store) Materialize(h Hash) ([]byte, error) {
+	start := time.Now()
+	m, err := s.GetManifest(h)
+	if err != nil {
+		return nil, err
+	}
+	secs := make([]snapshot.Section, 0, len(m.Entries))
+	for i, e := range m.Entries {
+		body, err := s.GetBlob(e.Hash)
+		if err != nil {
+			return nil, fmt.Errorf("store: materialize %s entry %d (%s %d): %w",
+				h.Short(), i, e.Kind, e.ID, err)
+		}
+		if uint32(len(body)) != e.Length {
+			return nil, fmt.Errorf("%w: manifest %s entry %d declares %d bytes, blob holds %d",
+				ErrCorrupt, h.Short(), i, e.Length, len(body))
+		}
+		secs = append(secs, snapshot.Section{Kind: e.Kind, ID: e.ID, Body: body})
+	}
+	out := snapshot.Encode(secs)
+	s.metrics.Histogram("store.materialize.latency").Observe(time.Since(start))
+	return out, nil
+}
+
+// Missing reports which entries of m the store lacks bodies for — the
+// responder's half of the warm-migration WANT computation.
+func (s *Store) Missing(m *Manifest) []uint32 {
+	var want []uint32
+	for i, e := range m.Entries {
+		if !s.HasBlob(e.Hash) {
+			want = append(want, uint32(i))
+		}
+	}
+	return want
+}

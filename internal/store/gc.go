@@ -1,0 +1,131 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// GCPolicy is the retention rule a sweep runs under.
+type GCPolicy struct {
+	// KeepPerRef bounds how many manifests of each ref's chain survive,
+	// newest first; 0 retains every manifest reachable from a ref.
+	// Manifests reachable from no ref are always swept.
+	KeepPerRef int
+}
+
+// GCStats is the outcome of one sweep.
+type GCStats struct {
+	LiveManifests  int
+	SweptManifests int
+	LiveBlobs      int
+	SweptBlobs     int
+	SweptBytes     int64
+}
+
+func (g GCStats) String() string {
+	return fmt.Sprintf("kept %d manifests / %d blobs, swept %d manifests / %d blobs (%d bytes)",
+		g.LiveManifests, g.LiveBlobs, g.SweptManifests, g.SweptBlobs, g.SweptBytes)
+}
+
+// GC removes every blob and manifest not reachable from a ref under the
+// retention policy: mark walks each ref's parent chain (truncated to
+// KeepPerRef manifests when the policy bounds it, tolerating chains whose
+// tail already dangles from an earlier sweep), then the sweep deletes the
+// unmarked remainder. GC holds the store lock for the whole mark+sweep,
+// so it never races an in-flight checkpoint: a checkpoint either
+// completes — anchored to its ref — before the mark, or starts after the
+// sweep.
+func (s *Store) GC(pol GCPolicy) (GCStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	liveManifests := map[Hash]bool{}
+	liveBlobs := map[Hash]bool{}
+	refs, err := s.Refs()
+	if err != nil {
+		return GCStats{}, err
+	}
+	for _, ref := range refs {
+		h, ok, err := s.Ref(ref)
+		if err != nil || !ok {
+			continue
+		}
+		kept := 0
+		for !h.IsZero() && !liveManifests[h] {
+			if pol.KeepPerRef > 0 && kept >= pol.KeepPerRef {
+				break
+			}
+			m, err := s.GetManifest(h)
+			if err != nil {
+				// The tail beyond a swept or damaged manifest cannot be
+				// retained; keep what the walk reached so far.
+				break
+			}
+			liveManifests[h] = true
+			for _, e := range m.Entries {
+				liveBlobs[e.Hash] = true
+			}
+			kept++
+			h = m.Parent
+		}
+	}
+
+	var st GCStats
+	st.LiveManifests = len(liveManifests)
+	st.LiveBlobs = len(liveBlobs)
+
+	manifests, err := s.Manifests()
+	if err != nil {
+		return st, err
+	}
+	for _, h := range manifests {
+		if liveManifests[h] {
+			continue
+		}
+		if err := os.Remove(s.manifestPath(h)); err != nil {
+			return st, fmt.Errorf("store: gc manifest %s: %w", h.Short(), err)
+		}
+		st.SweptManifests++
+	}
+
+	blobRoot := filepath.Join(s.dir, "blobs")
+	shards, err := os.ReadDir(blobRoot)
+	if err != nil {
+		return st, fmt.Errorf("store: gc: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(blobRoot, shard.Name()))
+		if err != nil {
+			return st, fmt.Errorf("store: gc: %w", err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			h, err := ParseHash(shard.Name() + e.Name())
+			if err != nil {
+				continue
+			}
+			if liveBlobs[h] {
+				continue
+			}
+			path := filepath.Join(blobRoot, shard.Name(), e.Name())
+			if info, err := e.Info(); err == nil {
+				st.SweptBytes += info.Size()
+			}
+			if err := os.Remove(path); err != nil {
+				return st, fmt.Errorf("store: gc blob %s: %w", h.Short(), err)
+			}
+			st.SweptBlobs++
+		}
+	}
+	s.metrics.Counter("store.gc.runs").Inc()
+	s.metrics.Counter("store.gc.swept.blobs").Add(int64(st.SweptBlobs))
+	s.metrics.Counter("store.gc.swept.bytes").Add(st.SweptBytes)
+	return st, nil
+}

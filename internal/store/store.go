@@ -1,0 +1,300 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// formatLine identifies a store directory and its layout version.
+const formatLine = "migstore/1\n"
+
+// Store is an on-disk content-addressed checkpoint repository. Safe for
+// concurrent use: mutations (blob and manifest writes, ref updates,
+// checkpoints, GC) serialize on one mutex, and every object lands via an
+// atomic rename, so lock-free readers always see whole objects.
+type Store struct {
+	dir     string
+	metrics *obs.Registry
+
+	// mu serializes mutations against each other and — critically —
+	// against GC: a checkpoint in flight holds the lock from its first
+	// blob write through the ref update, so the sweep can never collect
+	// bodies of a checkpoint that has not yet anchored itself to a ref.
+	mu sync.Mutex
+}
+
+// Open opens (creating if needed) the store rooted at dir. reg receives
+// the store's dedup counters and latency histograms; nil selects
+// obs.Default.
+func Open(dir string, reg *obs.Registry) (*Store, error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	for _, sub := range []string{"blobs", "manifests", "refs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open: %w", err)
+		}
+	}
+	fpath := filepath.Join(dir, "format")
+	if b, err := os.ReadFile(fpath); err == nil {
+		if string(b) != formatLine {
+			return nil, fmt.Errorf("%w: %s holds %q, want %q", ErrCorrupt, fpath, string(b), formatLine)
+		}
+	} else if err := writeAtomic(fpath, []byte(formatLine)); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	return &Store{dir: dir, metrics: reg}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// blobPath shards blobs by the first address byte so no single directory
+// grows unboundedly.
+func (s *Store) blobPath(h Hash) string {
+	hx := h.String()
+	return filepath.Join(s.dir, "blobs", hx[:2], hx[2:])
+}
+
+func (s *Store) manifestPath(h Hash) string {
+	return filepath.Join(s.dir, "manifests", h.String())
+}
+
+func (s *Store) refPath(name string) string {
+	return filepath.Join(s.dir, "refs", name)
+}
+
+// writeAtomic lands content at path via a temp file and rename, so a
+// concurrent reader sees either nothing or the whole object.
+func writeAtomic(path string, content []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// PutBlob stores a section body under its content address, returning the
+// address and whether the body was new. A body already present is not
+// rewritten — that is the dedup this store exists for — and is counted in
+// store.blob.dedup / store.bytes.deduped.
+func (s *Store) PutBlob(body []byte) (Hash, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putBlobLocked(body)
+}
+
+func (s *Store) putBlobLocked(body []byte) (Hash, bool, error) {
+	h := HashBytes(body)
+	path := s.blobPath(h)
+	if _, err := os.Stat(path); err == nil {
+		s.metrics.Counter("store.blob.dedup").Inc()
+		s.metrics.Counter("store.bytes.deduped").Add(int64(len(body)))
+		return h, false, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return Hash{}, false, fmt.Errorf("store: put blob: %w", err)
+	}
+	if err := writeAtomic(path, body); err != nil {
+		return Hash{}, false, fmt.Errorf("store: put blob: %w", err)
+	}
+	s.metrics.Counter("store.blob.put").Inc()
+	s.metrics.Counter("store.bytes.written").Add(int64(len(body)))
+	return h, true, nil
+}
+
+// HasBlob reports whether the store holds a body under h.
+func (s *Store) HasBlob(h Hash) bool {
+	_, err := os.Stat(s.blobPath(h))
+	return err == nil
+}
+
+// GetBlob reads the body stored under h, verifying the content hash: a
+// truncated or tampered blob file is an ErrCorrupt, never silently served.
+func (s *Store) GetBlob(h Hash) ([]byte, error) {
+	body, err := os.ReadFile(s.blobPath(h))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: blob %s", ErrNotFound, h.Short())
+		}
+		return nil, fmt.Errorf("store: get blob: %w", err)
+	}
+	if HashBytes(body) != h {
+		return nil, fmt.Errorf("%w: blob %s content hashes to %s", ErrCorrupt, h.Short(), HashBytes(body).Short())
+	}
+	return body, nil
+}
+
+// PutManifest stores a manifest under its content address.
+func (s *Store) PutManifest(m *Manifest) (Hash, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putManifestLocked(m)
+}
+
+func (s *Store) putManifestLocked(m *Manifest) (Hash, error) {
+	raw := m.Encode()
+	h := HashBytes(raw)
+	path := s.manifestPath(h)
+	if _, err := os.Stat(path); err == nil {
+		return h, nil
+	}
+	if err := writeAtomic(path, raw); err != nil {
+		return Hash{}, fmt.Errorf("store: put manifest: %w", err)
+	}
+	s.metrics.Counter("store.manifest.put").Inc()
+	return h, nil
+}
+
+// GetManifest reads and decodes the manifest stored under h, verifying
+// its content hash first.
+func (s *Store) GetManifest(h Hash) (*Manifest, error) {
+	raw, err := os.ReadFile(s.manifestPath(h))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: manifest %s", ErrNotFound, h.Short())
+		}
+		return nil, fmt.Errorf("store: get manifest: %w", err)
+	}
+	if HashBytes(raw) != h {
+		return nil, fmt.Errorf("%w: manifest %s content hashes to %s", ErrCorrupt, h.Short(), HashBytes(raw).Short())
+	}
+	return DecodeManifest(raw)
+}
+
+// HasManifest reports whether the store holds a manifest under h.
+func (s *Store) HasManifest(h Hash) bool {
+	_, err := os.Stat(s.manifestPath(h))
+	return err == nil
+}
+
+// Manifests lists the content addresses of every stored manifest.
+func (s *Store) Manifests() ([]Hash, error) {
+	names, err := os.ReadDir(filepath.Join(s.dir, "manifests"))
+	if err != nil {
+		return nil, fmt.Errorf("store: list manifests: %w", err)
+	}
+	out := make([]Hash, 0, len(names))
+	for _, e := range names {
+		if strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		h, err := ParseHash(e.Name())
+		if err != nil {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out, nil
+}
+
+// SetRef points the named checkpoint chain at manifest h.
+func (s *Store) SetRef(name string, h Hash) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setRefLocked(name, h)
+}
+
+func (s *Store) setRefLocked(name string, h Hash) error {
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("store: invalid ref name %q", name)
+	}
+	return writeAtomic(s.refPath(name), []byte(h.String()+"\n"))
+}
+
+// Ref resolves a named chain head; ok is false when the ref does not
+// exist.
+func (s *Store) Ref(name string) (Hash, bool, error) {
+	b, err := os.ReadFile(s.refPath(name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Hash{}, false, nil
+		}
+		return Hash{}, false, fmt.Errorf("store: read ref: %w", err)
+	}
+	h, err := ParseHash(strings.TrimSpace(string(b)))
+	if err != nil {
+		return Hash{}, false, fmt.Errorf("%w: ref %q holds %q", ErrCorrupt, name, strings.TrimSpace(string(b)))
+	}
+	return h, true, nil
+}
+
+// Refs lists every named chain head, sorted by name.
+func (s *Store) Refs() ([]string, error) {
+	names, err := os.ReadDir(filepath.Join(s.dir, "refs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: list refs: %w", err)
+	}
+	out := make([]string, 0, len(names))
+	for _, e := range names {
+		if strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Resolve turns a user-supplied target — a ref name or a full hex
+// manifest hash — into a manifest address.
+func (s *Store) Resolve(target string) (Hash, error) {
+	if h, ok, err := s.Ref(target); err != nil {
+		return Hash{}, err
+	} else if ok {
+		return h, nil
+	}
+	h, err := ParseHash(target)
+	if err != nil {
+		return Hash{}, fmt.Errorf("%w: %q is neither a ref nor a manifest hash", ErrNotFound, target)
+	}
+	if !s.HasManifest(h) {
+		return Hash{}, fmt.Errorf("%w: manifest %s", ErrNotFound, h.Short())
+	}
+	return h, nil
+}
+
+// Chain walks the parent links from h to the chain root, returning the
+// manifests newest first. A parent link to a manifest the store does not
+// hold is reported as a dangling chain (ErrNotFound).
+func (s *Store) Chain(h Hash) ([]*Manifest, error) {
+	var out []*Manifest
+	seen := map[Hash]bool{}
+	for !h.IsZero() {
+		if seen[h] {
+			return nil, fmt.Errorf("%w: manifest chain loops at %s", ErrBadManifest, h.Short())
+		}
+		seen[h] = true
+		m, err := s.GetManifest(h)
+		if err != nil {
+			if len(out) > 0 {
+				return nil, fmt.Errorf("store: chain dangles at seq %d: %w", out[len(out)-1].Seq, err)
+			}
+			return nil, err
+		}
+		out = append(out, m)
+		h = m.Parent
+	}
+	return out, nil
+}

@@ -1,0 +1,322 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+)
+
+// testSnapshot builds a plausible sectioned snapshot: exec, the given
+// heap component bodies, one frame, and globals.
+func testSnapshot(heaps ...[]byte) []byte {
+	secs := []snapshot.Section{{Kind: snapshot.KindExec, Body: []byte("exec-body")}}
+	for i, h := range heaps {
+		secs = append(secs, snapshot.Section{Kind: snapshot.KindHeap, ID: uint32(i), Body: h})
+	}
+	secs = append(secs,
+		snapshot.Section{Kind: snapshot.KindFrame, ID: 1, Body: []byte("frame-1-body")},
+		snapshot.Section{Kind: snapshot.KindGlobals, Body: []byte("globals-body")})
+	return snapshot.Encode(secs)
+}
+
+func openTest(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	s := openTest(t)
+	body := []byte("the quick brown fox")
+	h, fresh, err := s.PutBlob(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh {
+		t.Error("first put not fresh")
+	}
+	if !s.HasBlob(h) {
+		t.Error("HasBlob false after put")
+	}
+	if _, fresh, err = s.PutBlob(body); err != nil || fresh {
+		t.Errorf("second put: fresh=%v err=%v, want dedup", fresh, err)
+	}
+	got, err := s.GetBlob(h)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("GetBlob = %q, %v", got, err)
+	}
+	if s.HasBlob(HashBytes([]byte("absent"))) {
+		t.Error("HasBlob true for absent body")
+	}
+}
+
+func TestManifestEncodeDecode(t *testing.T) {
+	m := &Manifest{
+		ProgramDigest: 0xdeadbeef,
+		Machine:       "ultra5",
+		Seq:           7,
+		Parent:        HashBytes([]byte("parent")),
+		Entries: []Entry{
+			{Kind: snapshot.KindExec, ID: 0, Length: 9, Hash: HashBytes([]byte("a"))},
+			{Kind: snapshot.KindHeap, ID: 3, Length: 1 << 16, Hash: HashBytes([]byte("b"))},
+		},
+	}
+	got, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgramDigest != m.ProgramDigest || got.Machine != m.Machine ||
+		got.Seq != m.Seq || got.Parent != m.Parent || len(got.Entries) != len(m.Entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	for i := range m.Entries {
+		if got.Entries[i] != m.Entries[i] {
+			t.Errorf("entry %d: %+v != %+v", i, got.Entries[i], m.Entries[i])
+		}
+	}
+	if got.Hash() != m.Hash() {
+		t.Error("content address changed across round trip")
+	}
+}
+
+func TestCheckpointMaterialize(t *testing.T) {
+	s := openTest(t)
+	snap := testSnapshot([]byte("heap-zero"), []byte("heap-one"))
+	m, h, st, err := s.Checkpoint(snap, 0x1234, "ultra5", Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sections != 5 || st.NewBlobs != 5 || st.DupBlobs != 0 {
+		t.Errorf("first checkpoint stats: %+v", st)
+	}
+	if m.Seq != 1 || !m.Parent.IsZero() {
+		t.Errorf("root manifest: seq %d parent %s", m.Seq, m.Parent)
+	}
+	if m.SnapshotBytes() != len(snap) {
+		t.Errorf("SnapshotBytes = %d, snapshot is %d", m.SnapshotBytes(), len(snap))
+	}
+	out, err := s.Materialize(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, snap) {
+		t.Fatal("materialized snapshot not byte-identical")
+	}
+
+	// Second checkpoint: one heap component mutated, everything else
+	// dedups against the first.
+	snap2 := testSnapshot([]byte("heap-zero"), []byte("heap-one-CHANGED"))
+	m2, h2, st2, err := s.Checkpoint(snap2, 0x1234, "ultra5", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.NewBlobs != 1 || st2.DupBlobs != 4 {
+		t.Errorf("incremental checkpoint stats: %+v", st2)
+	}
+	if st2.DedupRatio() < 2 {
+		t.Errorf("dedup ratio %.2f, want >= 2 for a 1-of-5 mutation", st2.DedupRatio())
+	}
+	if m2.Seq != 2 || m2.Parent != h {
+		t.Errorf("chained manifest: seq %d parent %s (want %s)", m2.Seq, m2.Parent.Short(), h.Short())
+	}
+	out2, err := s.Materialize(h2)
+	if err != nil || !bytes.Equal(out2, snap2) {
+		t.Fatalf("materialize chained: identical=%v err=%v", bytes.Equal(out2, snap2), err)
+	}
+	chain, err := s.Chain(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Seq != 2 || chain[1].Seq != 1 {
+		t.Errorf("chain walk: %d manifests", len(chain))
+	}
+}
+
+func TestCheckpointRefAndResolve(t *testing.T) {
+	s := openTest(t)
+	_, h1, _, err := s.CheckpointRef("job", testSnapshot([]byte("v1")), 1, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, h2, _, err := s.CheckpointRef("job", testSnapshot([]byte("v2")), 1, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Parent != h1 {
+		t.Errorf("second CheckpointRef parent %s, want %s", m2.Parent.Short(), h1.Short())
+	}
+	if got, err := s.Resolve("job"); err != nil || got != h2 {
+		t.Errorf("Resolve(job) = %s, %v; want %s", got.Short(), err, h2.Short())
+	}
+	if got, err := s.Resolve(h1.String()); err != nil || got != h1 {
+		t.Errorf("Resolve(hash) = %s, %v", got.Short(), err)
+	}
+	if _, err := s.Resolve("no-such-ref"); err == nil {
+		t.Error("Resolve of unknown target succeeded")
+	}
+	refs, err := s.Refs()
+	if err != nil || len(refs) != 1 || refs[0] != "job" {
+		t.Errorf("Refs = %v, %v", refs, err)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	s := openTest(t)
+	snap := testSnapshot([]byte("h0"), []byte("h1"))
+	m, _, _, err := s.Checkpoint(snap, 1, "m", Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := openTest(t)
+	if got := empty.Missing(m); len(got) != len(m.Entries) {
+		t.Errorf("empty store missing %d of %d entries", len(got), len(m.Entries))
+	}
+	if got := s.Missing(m); got != nil {
+		t.Errorf("full store missing %v", got)
+	}
+}
+
+func TestGCRetention(t *testing.T) {
+	s := openTest(t)
+	var heads []Hash
+	for i := 0; i < 3; i++ {
+		_, h, _, err := s.CheckpointRef("job", testSnapshot([]byte(fmt.Sprintf("gen-%d", i))), 1, "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads = append(heads, h)
+	}
+	// An orphan checkpoint anchored to no ref is always swept.
+	_, orphan, _, err := s.Checkpoint(testSnapshot([]byte("orphan")), 1, "m", Hash{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.GC(GCPolicy{KeepPerRef: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LiveManifests != 1 || st.SweptManifests != 3 {
+		t.Errorf("gc stats: %+v", st)
+	}
+	if s.HasManifest(orphan) || s.HasManifest(heads[0]) || s.HasManifest(heads[1]) {
+		t.Error("swept manifests still present")
+	}
+	if !s.HasManifest(heads[2]) {
+		t.Fatal("retained head swept")
+	}
+	// The retained head must still materialize in full: shared bodies
+	// (exec/frame/globals) survive, only unreferenced generations go.
+	if _, err := s.Materialize(heads[2]); err != nil {
+		t.Fatalf("materialize after GC: %v", err)
+	}
+	// The head's parent is swept: the chain walk now reports a dangle.
+	if _, err := s.Chain(heads[2]); err == nil {
+		t.Error("chain walk across swept parent succeeded")
+	}
+	// A second full-retention GC keeps everything that is left.
+	st2, err := s.GC(GCPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.SweptManifests != 0 || st2.SweptBlobs != 0 {
+		t.Errorf("idempotent gc swept: %+v", st2)
+	}
+}
+
+// TestConcurrentCheckpointGC drives checkpoints and sweeps concurrently
+// (run under -race): a checkpoint is atomic with respect to GC, so every
+// surviving head must always materialize.
+func TestConcurrentCheckpointGC(t *testing.T) {
+	s := openTest(t)
+	const writers, rounds = 3, 8
+	var wg sync.WaitGroup
+	errc := make(chan error, writers*rounds+rounds)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ref := fmt.Sprintf("worker-%d", w)
+			for r := 0; r < rounds; r++ {
+				snap := testSnapshot([]byte(fmt.Sprintf("w%d-r%d", w, r)), []byte("shared"))
+				if _, _, _, err := s.CheckpointRef(ref, snap, 1, "m"); err != nil {
+					errc <- fmt.Errorf("checkpoint w%d r%d: %w", w, r, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			if _, err := s.GC(GCPolicy{KeepPerRef: 1}); err != nil {
+				errc <- fmt.Errorf("gc round %d: %w", r, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	refs, err := s.Refs()
+	if err != nil || len(refs) != writers {
+		t.Fatalf("refs after churn: %v, %v", refs, err)
+	}
+	for _, ref := range refs {
+		h, ok, err := s.Ref(ref)
+		if err != nil || !ok {
+			t.Fatalf("ref %s: ok=%v err=%v", ref, ok, err)
+		}
+		if _, err := s.Materialize(h); err != nil {
+			t.Errorf("ref %s head does not materialize after concurrent GC: %v", ref, err)
+		}
+	}
+}
+
+func TestOpenRejectsForeignFormat(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, obs.NewRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	// Reopening an existing store succeeds.
+	if _, err := Open(dir, nil); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := testSnapshot([]byte("h0"))
+	if _, _, _, err := s.CheckpointRef("job", snap, 1, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.CheckpointRef("job", snap, 1, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("store.blob.put").Value(); n != 4 {
+		t.Errorf("store.blob.put = %d, want 4", n)
+	}
+	if n := reg.Counter("store.blob.dedup").Value(); n != 4 {
+		t.Errorf("store.blob.dedup = %d, want 4 (identical second checkpoint)", n)
+	}
+	if reg.Counter("store.bytes.deduped").Value() == 0 {
+		t.Error("store.bytes.deduped not counted")
+	}
+	if reg.Histogram("store.checkpoint.latency").Count() != 2 {
+		t.Error("checkpoint latency not observed")
+	}
+}

@@ -590,3 +590,73 @@ int main() {
 }
 `, nlists, nnodes, nlists, nlists, nnodes, nlists, nlists)
 }
+
+// MutatingShardsSource builds the E12 checkpoint workload: nlists
+// independent lists of nnodes nodes (16 doubles each), then rounds
+// mutation rounds. Round r adds 1.0 to every payload double of list
+// r % nlists and reaches a migration point — so between two consecutive
+// polls exactly one heap component changes, and a checkpoint taken every
+// K-th poll sees roughly K of nlists components dirty. The final checksum
+// verifies every mutation survived every checkpoint/restore:
+// sum == checksum + rounds * 16 * nnodes.
+func MutatingShardsSource(nlists, nnodes, rounds int) string {
+	return fmt.Sprintf(`
+/* mutating_shards: %d lists x %d nodes; %d rounds of mutate-one-list + poll. */
+
+struct node {
+	double pay[16];
+	struct node *next;
+};
+
+struct node *heads[%d];
+double checksum;
+
+int main() {
+	int i, j, k, r;
+	struct node *c;
+	double sum;
+
+	for (k = 0; k < %d; k++) {
+		heads[k] = 0;
+		for (i = 0; i < %d; i++) {
+			c = (struct node *) malloc(sizeof(struct node));
+			for (j = 0; j < 16; j++) {
+				c->pay[j] = k * 1000.0 + i + j * 0.5;
+			}
+			c->next = heads[k];
+			heads[k] = c;
+		}
+	}
+	sum = 0.0;
+	for (k = 0; k < %d; k++) {
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) sum += c->pay[j];
+			c = c->next;
+		}
+	}
+	checksum = sum;
+
+	for (r = 0; r < %d; r++) {
+		k = r %% %d;
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) c->pay[j] = c->pay[j] + 1.0;
+			c = c->next;
+		}
+		migrate_here();
+	}
+
+	sum = 0.0;
+	for (k = 0; k < %d; k++) {
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) sum += c->pay[j];
+			c = c->next;
+		}
+	}
+	if (sum != checksum + %d * 16.0 * %d) return 1;
+	return 0;
+}
+`, nlists, nnodes, rounds, nlists, nlists, nnodes, nlists, rounds, nlists, nlists, rounds, nnodes)
+}
