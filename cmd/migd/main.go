@@ -120,7 +120,10 @@ func main() {
 	trace := fs.Bool("trace", false, "serve: log a per-session phase-span tree after each session")
 	traceDir := fs.String("trace-dir", "", "serve: dump a flight-<traceID>.json recording into this directory when a session fails (empty disables)")
 	storeDir := fs.String("store", "", "checkpoint store directory enabling warm (dedup'd) transfers with store-equipped peers (empty disables)")
+	restoreWorkers := fs.Int("restore-workers", 0,
+		"cap the parallel heap-section restore pool (0 = GOMAXPROCS; the restored image is identical at any setting)")
 	fs.Parse(os.Args[2:])
+	vm.SetMaxRestoreWorkers(*restoreWorkers)
 
 	m := lookupMachine(*machineName)
 	engines := loadEngines(programs, mode)
@@ -160,6 +163,7 @@ func usage() {
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
              [-pprof HOST:PORT] [-trace] [-trace-dir DIR] [-store DIR]
+             [-restore-workers N]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
              [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]
              [-store DIR]`)

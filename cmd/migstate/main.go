@@ -51,7 +51,10 @@ func main() {
 	describe := flag.String("describe", "", "describe the checkpoint chain at REF|HASH")
 	restore := flag.String("restore", "", "restore the checkpoint at REF|HASH")
 	run := flag.Bool("run", false, "with -restore: run the restored process to completion and propagate its exit code")
+	restoreWorkers := flag.Int("restore-workers", 0,
+		"cap the parallel heap-section restore pool (0 = GOMAXPROCS; the restored image is identical at any setting)")
 	flag.Parse()
+	vm.SetMaxRestoreWorkers(*restoreWorkers)
 
 	switch {
 	case *storeDir == "":

@@ -199,10 +199,7 @@ func (s *Saver) savePointerValue(p memory.Address) error {
 	if err != nil {
 		return fmt.Errorf("collect: unresolvable pointer %#x: %w", uint64(p), err)
 	}
-	s.enc.PutUint32(uint32(ref.ID.Seg))
-	s.enc.PutUint32(ref.ID.Major)
-	s.enc.PutUint32(ref.ID.Minor)
-	s.enc.PutUint32(uint32(ref.Ordinal))
+	s.enc.Put4Uint32(uint32(ref.ID.Seg), ref.ID.Major, ref.ID.Minor, uint32(ref.Ordinal))
 	if s.NoDedup {
 		limit := s.DedupDepthLimit
 		if limit <= 0 {

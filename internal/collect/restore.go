@@ -62,6 +62,12 @@ type Restorer struct {
 	// the directory of the section that owns each block.
 	flat bool
 
+	// msrStats receives the MSRLT resolve counters. It defaults to the
+	// table's own Stats; a parallel section restorer points it at a
+	// worker-private set (folded into the table after the join) so
+	// concurrent restorers never race on the shared counters.
+	msrStats *msr.Stats
+
 	// Instrument enables the fine-grained timing split in Stats.
 	Instrument bool
 	Stats      RestoreStats
@@ -77,6 +83,7 @@ func NewRestorer(space *memory.Space, table *msr.Table, ti *types.TI, dec *xdr.D
 		mach:     space.Machine(),
 		dec:      dec,
 		restored: make(map[msr.BlockID]bool),
+		msrStats: &table.Stats,
 	}
 }
 
@@ -116,15 +123,7 @@ func (r *Restorer) restorePointerValue() (memory.Address, error) {
 	if seg >= uint32(memory.NumSegments) {
 		return 0, fmt.Errorf("%w: invalid segment %d", ErrCorruptStream, seg)
 	}
-	major, err := r.dec.Uint32()
-	if err != nil {
-		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
-	}
-	minor, err := r.dec.Uint32()
-	if err != nil {
-		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
-	}
-	ordinal, err := r.dec.Uint32()
+	major, minor, ordinal, err := r.dec.Uint32x3()
 	if err != nil {
 		return 0, fmt.Errorf("%w: truncated pointer reference", ErrCorruptStream)
 	}
@@ -138,7 +137,7 @@ func (r *Restorer) restorePointerValue() (memory.Address, error) {
 			return 0, err
 		}
 	}
-	addr, err := msr.AddrOf(r.table, r.mach, ref)
+	addr, err := msr.AddrOfStats(r.table, r.mach, ref, r.msrStats)
 	if err != nil {
 		// Every target must have been registered by now — by an earlier
 		// record in the monolithic stream, or by the owning section of a

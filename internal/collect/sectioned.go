@@ -280,6 +280,24 @@ type SectionedState struct {
 	// Workers is the number of pool workers that encoded at least one
 	// section (1 for a serial encode).
 	Workers int
+
+	// encs holds the pooled per-section encoders whose buffers back the
+	// Body slices above; Release returns them.
+	encs []*xdr.Encoder
+}
+
+// Release returns the pooled per-section encoders to the buffer pool.
+// Every Body slice in the state aliases one of those buffers, so the
+// caller must be done with the bodies — typically after splicing them
+// into the top-level snapshot stream. Safe to call more than once.
+func (st *SectionedState) Release() {
+	for _, e := range st.encs {
+		if e != nil {
+			e.Release()
+		}
+	}
+	st.encs = nil
+	st.Heap, st.Frames, st.Globals = nil, nil, EncodedSection{}
 }
 
 // sectionJob is one body to encode.
@@ -315,6 +333,7 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 	}
 
 	results := make([]EncodedSection, len(jobs))
+	encs := make([]*xdr.Encoder, len(jobs))
 	mach := space.Machine()
 
 	var (
@@ -351,7 +370,10 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 			did++
 			job := jobs[idx]
 			start := time.Now()
-			enc := xdr.NewEncoder(sectionSizeHint(job.blocks, mach))
+			// Pooled encoder: the body aliases its buffer until the
+			// caller's SectionedState.Release.
+			enc := xdr.GetEncoder(sectionSizeHint(job.blocks, mach))
+			encs[idx] = enc
 			se := &sectionEncoder{
 				space:    space,
 				table:    table,
@@ -395,6 +417,11 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 		wg.Wait()
 	}
 	if firstErr != nil {
+		for _, e := range encs {
+			if e != nil {
+				e.Release()
+			}
+		}
 		return nil, firstErr
 	}
 
@@ -406,6 +433,7 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 		Globals: results[h+f],
 		Stats:   agg,
 		Workers: engaged,
+		encs:    encs,
 	}
 	return out, nil
 }
@@ -450,10 +478,7 @@ func (e *sectionEncoder) encodeBody(blocks []*msr.Block, live []memory.Address, 
 		if !ok {
 			return fmt.Errorf("collect: block %s has type %s not in TI table", b.ID, b.Type)
 		}
-		e.enc.PutUint32(b.ID.Major)
-		e.enc.PutUint32(b.ID.Minor)
-		e.enc.PutUint32(uint32(ti))
-		e.enc.PutUint32(uint32(b.Count))
+		e.enc.Put4Uint32(b.ID.Major, b.ID.Minor, uint32(ti), uint32(b.Count))
 	}
 	for _, b := range blocks {
 		e.stats.Blocks++
@@ -510,27 +535,39 @@ func (e *sectionEncoder) putRef(p memory.Address) error {
 	if err != nil {
 		return fmt.Errorf("collect: unresolvable pointer %#x: %w", uint64(p), err)
 	}
-	e.enc.PutUint32(uint32(ref.ID.Seg))
-	e.enc.PutUint32(ref.ID.Major)
-	e.enc.PutUint32(ref.ID.Minor)
-	e.enc.PutUint32(uint32(ref.Ordinal))
+	e.enc.Put4Uint32(uint32(ref.ID.Seg), ref.ID.Major, ref.ID.Minor, uint32(ref.Ordinal))
 	return nil
 }
 
-// RestoreHeapSection rebuilds one heap-component section: every block in
-// the directory is allocated and registered before any content is
-// decoded, then the contents are filled with flat reference translation.
-func RestoreHeapSection(space *memory.Space, table *msr.Table, ti *types.TI, body []byte, instrument bool) (RestoreStats, error) {
+// PreparedHeapSection is a heap-component section after its serial
+// phase: the directory has been decoded and every block allocated and
+// registered in the MSRLT, in stream order. Fill decodes the contents —
+// independently of every other prepared section, because heap components
+// are closed under heap pointers.
+type PreparedHeapSection struct {
+	blocks   []*msr.Block
+	contents []byte
+	// Stats carries the allocation-phase counters (Allocated, UpdateTime).
+	Stats RestoreStats
+}
+
+// PrepareHeapSection runs the serial phase of one heap-component restore:
+// the directory is decoded and every block allocated and registered, but
+// no content is filled. Allocation and registration mutate the space and
+// the MSRLT, so Prepare calls must not run concurrently — the vm layer
+// prepares every heap section in snapshot order (keeping the heap layout
+// deterministic), then fills them on a worker pool.
+func PrepareHeapSection(space *memory.Space, table *msr.Table, ti *types.TI, body []byte, instrument bool) (*PreparedHeapSection, error) {
 	r := NewRestorer(space, table, ti, xdr.NewDecoder(body))
 	r.flat = true
 	r.Instrument = instrument
 
 	n, err := r.dec.Uint32()
 	if err != nil {
-		return r.Stats, fmt.Errorf("%w: truncated heap section directory", ErrCorruptStream)
+		return nil, fmt.Errorf("%w: truncated heap section directory", ErrCorruptStream)
 	}
 	if int64(n)*16 > int64(r.dec.Remaining()) {
-		return r.Stats, fmt.Errorf("%w: heap directory declares %d entries, %d bytes remain",
+		return nil, fmt.Errorf("%w: heap directory declares %d entries, %d bytes remain",
 			ErrCorruptStream, n, r.dec.Remaining())
 	}
 	var start time.Time
@@ -541,25 +578,57 @@ func RestoreHeapSection(space *memory.Space, table *msr.Table, ti *types.TI, bod
 	for i := uint32(0); i < n; i++ {
 		major, minor, ty, count, err := r.directoryEntry()
 		if err != nil {
-			return r.Stats, err
+			return nil, err
 		}
 		if minor != 0 {
-			return r.Stats, fmt.Errorf("%w: heap block with nonzero minor %d", ErrCorruptStream, minor)
+			return nil, fmt.Errorf("%w: heap block with nonzero minor %d", ErrCorruptStream, minor)
 		}
 		id := msr.BlockID{Seg: memory.Heap, Major: major}
 		if _, exists := r.table.ByID(id); exists {
-			return r.Stats, fmt.Errorf("%w: duplicate heap block %s", ErrCorruptStream, id)
+			return nil, fmt.Errorf("%w: duplicate heap block %s", ErrCorruptStream, id)
 		}
 		b, err := r.allocHeapBlock(id, ty, count)
 		if err != nil {
-			return r.Stats, err
+			return nil, err
 		}
 		blocks = append(blocks, b)
 	}
 	if instrument {
 		r.Stats.UpdateTime += time.Since(start)
 	}
-	for _, b := range blocks {
+	return &PreparedHeapSection{blocks: blocks, contents: body[r.dec.Offset():], Stats: r.Stats}, nil
+}
+
+// Extent returns the lowest address and one-past-the-highest address of
+// the section's allocated blocks (both zero for an empty section), so the
+// caller can pre-materialize the backing storage before concurrent fills.
+func (ps *PreparedHeapSection) Extent(m *arch.Machine) (lo, hi memory.Address) {
+	for _, b := range ps.blocks {
+		end := b.Addr + memory.Address(b.Count*b.Type.SizeOf(m))
+		if lo == 0 || b.Addr < lo {
+			lo = b.Addr
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	return lo, hi
+}
+
+// Fill runs the parallel-safe phase of one heap-component restore: the
+// contents are decoded into the already-allocated blocks with flat
+// reference translation. msrStats receives the MSRLT resolve counters
+// (pass a worker-private set under concurrency; the table's block index
+// must be read-only, i.e. every section must be Prepared first, and the
+// space's backing storage pre-materialized over the sections' extents).
+func (ps *PreparedHeapSection) Fill(space *memory.Space, table *msr.Table, ti *types.TI, instrument bool, msrStats *msr.Stats) (RestoreStats, error) {
+	r := NewRestorer(space, table, ti, xdr.NewDecoder(ps.contents))
+	r.flat = true
+	r.Instrument = instrument
+	if msrStats != nil {
+		r.msrStats = msrStats
+	}
+	for _, b := range ps.blocks {
 		r.Stats.Blocks++
 		if err := r.fillContents(b); err != nil {
 			return r.Stats, err
@@ -569,6 +638,162 @@ func RestoreHeapSection(space *memory.Space, table *msr.Table, ti *types.TI, bod
 		return r.Stats, fmt.Errorf("%w: %d trailing bytes in heap section", ErrCorruptStream, r.dec.Remaining())
 	}
 	return r.Stats, nil
+}
+
+// RestoreHeapSection rebuilds one heap-component section: every block in
+// the directory is allocated and registered before any content is
+// decoded, then the contents are filled with flat reference translation.
+func RestoreHeapSection(space *memory.Space, table *msr.Table, ti *types.TI, body []byte, instrument bool) (RestoreStats, error) {
+	ps, err := PrepareHeapSection(space, table, ti, body, instrument)
+	if err != nil {
+		return RestoreStats{}, err
+	}
+	stats, err := ps.Fill(space, table, ti, instrument, nil)
+	stats.Add(ps.Stats)
+	return stats, err
+}
+
+// HeapRestore is the outcome of RestoreHeapSections: per-section restore
+// statistics and fill wall times in section order, and the worker count.
+type HeapRestore struct {
+	// PerSection[i] aggregates section i's allocation and fill counters.
+	PerSection []RestoreStats
+	// Prepare[i] is section i's serial allocation-phase wall time.
+	Prepare []time.Duration
+	// Elapsed[i] is section i's fill wall time as measured on its worker
+	// (the per-component latency the restore speedup comes from).
+	Elapsed []time.Duration
+	// Workers is the number of pool workers that filled at least one
+	// section (1 for a serial restore).
+	Workers int
+}
+
+// RestoreHeapSections restores every heap-component section of one
+// snapshot: the directories are decoded and their blocks allocated
+// serially in section order — the heap layout is identical to a fully
+// serial restore — then the independent component contents are filled on
+// a bounded worker pool, mirroring EncodeSections on the capture side.
+// workers <= 0 selects GOMAXPROCS; 1 fills serially on the calling
+// goroutine. The restored memory image is identical for every worker
+// count.
+func RestoreHeapSections(space *memory.Space, table *msr.Table, ti *types.TI, bodies [][]byte, instrument bool, workers int) (*HeapRestore, error) {
+	out := &HeapRestore{
+		PerSection: make([]RestoreStats, len(bodies)),
+		Prepare:    make([]time.Duration, len(bodies)),
+		Elapsed:    make([]time.Duration, len(bodies)),
+		Workers:    1,
+	}
+	if len(bodies) == 0 {
+		return out, nil
+	}
+
+	// Serial phase: allocate and register every section's blocks in
+	// snapshot order (Malloc and Register mutate shared state).
+	prepared := make([]*PreparedHeapSection, len(bodies))
+	mach := space.Machine()
+	var lo, hi memory.Address
+	for i, body := range bodies {
+		prepStart := time.Now()
+		ps, err := PrepareHeapSection(space, table, ti, body, instrument)
+		if err != nil {
+			return nil, fmt.Errorf("heap section %d: %w", i, err)
+		}
+		out.Prepare[i] = time.Since(prepStart)
+		prepared[i] = ps
+		out.PerSection[i] = ps.Stats
+		slo, shi := ps.Extent(mach)
+		if lo == 0 || (slo != 0 && slo < lo) {
+			lo = slo
+		}
+		if shi > hi {
+			hi = shi
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(bodies) {
+		workers = len(bodies)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pre-materialize the heap backing storage over the full extent: a
+	// segment store grows (and may re-base) its backing array on first
+	// touch, which must not happen under concurrent fills.
+	if workers > 1 && hi > lo {
+		if err := space.Materialize(lo, int(hi-lo)); err != nil {
+			return nil, err
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		engaged  int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	// Static round-robin sharding, exactly as EncodeSections: worker w
+	// owns sections w, w+W, w+2W, ... Each worker translates references
+	// through its own MSRLT counter set, folded into the table after the
+	// join.
+	run := func(worker int) {
+		local := msr.Stats{}
+		did := 0
+		for idx := worker; idx < len(prepared); idx += workers {
+			if failed() {
+				continue
+			}
+			did++
+			start := time.Now()
+			st, err := prepared[idx].Fill(space, table, ti, instrument, &local)
+			if err != nil {
+				fail(fmt.Errorf("heap section %d: %w", idx, err))
+				continue
+			}
+			out.Elapsed[idx] = time.Since(start)
+			out.PerSection[idx].Add(st)
+		}
+		mu.Lock()
+		table.Stats.Add(local)
+		if did > 0 {
+			engaged++
+		}
+		mu.Unlock()
+	}
+
+	if workers == 1 {
+		run(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				run(w)
+			}(i)
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	out.Workers = engaged
+	return out, nil
 }
 
 // RestoreVarSection rebuilds one frame or globals section: the live
@@ -637,19 +862,10 @@ func RestoreVarSection(space *memory.Space, table *msr.Table, ti *types.TI, body
 	return r.Stats, nil
 }
 
-// directoryEntry decodes one section-directory record.
+// directoryEntry decodes one section-directory record (one take for the
+// whole 16-byte entry).
 func (r *Restorer) directoryEntry() (major, minor uint32, ty *types.Type, count int, err error) {
-	if major, err = r.dec.Uint32(); err != nil {
-		return 0, 0, nil, 0, fmt.Errorf("%w: truncated directory entry", ErrCorruptStream)
-	}
-	if minor, err = r.dec.Uint32(); err != nil {
-		return 0, 0, nil, 0, fmt.Errorf("%w: truncated directory entry", ErrCorruptStream)
-	}
-	tIdx, err := r.dec.Uint32()
-	if err != nil {
-		return 0, 0, nil, 0, fmt.Errorf("%w: truncated directory entry", ErrCorruptStream)
-	}
-	c, err := r.dec.Uint32()
+	major, minor, tIdx, c, err := r.dec.Uint32x4()
 	if err != nil {
 		return 0, 0, nil, 0, fmt.Errorf("%w: truncated directory entry", ErrCorruptStream)
 	}

@@ -46,6 +46,11 @@ func (e *Engine) OpenSectioned(payload []byte) (state []byte, srcName string, er
 // pieces. Unlike SendStream, collection does not overlap transmission:
 // the sections are assembled in their deterministic order after the pool
 // joins, then flushed; v3's concurrency lives in the encode itself.
+//
+// The path is zero-copy per section body: snapshot.Append hands each
+// body to the sink through the encoder's WriteRaw, so the bytes go from
+// the pool worker's (pooled, reused) encode buffer straight into sw's
+// chunk buffers without staging through an intermediate envelope buffer.
 func (e *Engine) SendSectioned(sw io.WriteCloser, src *arch.Machine, p *vm.Process, chunkSize, workers int) (Timing, error) {
 	start := time.Now()
 	enc := xdr.NewEncoder(chunkSize + 1024)

@@ -1,0 +1,305 @@
+package exper
+
+// E13 — hot-path round trip: the pooled-encoder, zero-copy-framing,
+// parallel-restore path against the seed (monolithic v1) path, measured
+// as capture→restore round-trip throughput on a large sharded heap.
+//
+// Three rows: the monolithic v1 path (the seed baseline), the sectioned
+// path fully serial (pool width 1 on both sides), and the hotpath —
+// pooled per-section encoders feeding the zero-copy section framing on
+// capture, and the heap-component fills on a worker pool on restore. As
+// in E9a, a host with fewer cores than the pool cannot show the gain in
+// the measured column, so each sectioned row also carries a modeled
+// round trip: the measured serial per-section times scheduled on an
+// ideal pool, plus the residual that stays serial (partition, exec,
+// frames, globals, block allocation). The acceptance gate in
+// cmd/migbench takes max(measured, modeled) hotpath throughput against
+// the seed row — and every row must restore to the identical state.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// hotpathWorkers is the pool width E13 measures and models, on both the
+// capture and the restore side.
+const hotpathWorkers = 4
+
+// HotpathRow is one path's capture→restore round trip.
+type HotpathRow struct {
+	Path string
+	// Bytes is the snapshot size this path round-trips.
+	Bytes int
+	// Capture, Restore, and RoundTrip are min-of-N measured wall times.
+	Capture   time.Duration
+	Restore   time.Duration
+	RoundTrip time.Duration
+	// Throughput is Bytes / RoundTrip in MB/s.
+	Throughput float64
+	// ModelRoundTrip schedules the serial row's measured per-section
+	// times on an ideal hotpathWorkers-wide pool (capture and restore
+	// separately, residuals kept serial); zero for the seed row.
+	ModelRoundTrip  time.Duration
+	ModelThroughput float64
+	// CaptureWorkers and RestoreWorkers are the pool widths engaged.
+	CaptureWorkers int
+	RestoreWorkers int
+	// Identical reports the restored process re-collects to the same
+	// machine-independent (v1) state the source captured directly.
+	Identical bool
+}
+
+// HotpathResult is the E13 outcome: the rows plus the gate inputs.
+type HotpathResult struct {
+	Rows []HotpathRow
+	// Speedup and ModelSpeedup are the hotpath row's measured and
+	// modeled round-trip throughput over the seed (mono v1) row's.
+	Speedup      float64
+	ModelSpeedup float64
+	// RestoreIdentical reports the serial-restore and parallel-restore
+	// processes re-collect to byte-identical states.
+	RestoreIdentical bool
+}
+
+// Hotpath runs E13 on a sharded-lists heap large enough that the heap
+// components dominate both encode and fill time.
+func Hotpath(cfg Config) (*HotpathResult, error) {
+	nnodes := 6000
+	if cfg.Quick {
+		nnodes = 800
+	}
+	e, err := core.NewEngine(workload.ShardedListsSource(8, nnodes), minic.PollPolicy{})
+	if err != nil {
+		return nil, err
+	}
+	p, direct, err := stopAtMigration(e, arch.Ultra5)
+	if err != nil {
+		return nil, err
+	}
+
+	// restoreOnce rebuilds a fresh process from state with the given
+	// restore pool width and returns it (for recapture and metrics).
+	restoreOnce := func(state []byte, workers int) (*vm.Process, error) {
+		q, err := e.NewProcess(arch.Ultra5)
+		if err != nil {
+			return nil, err
+		}
+		q.RestoreWorkers = workers
+		if err := q.RestoreInto(state); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	// verify recaptures q at v1 and compares against the direct capture.
+	verify := func(q *vm.Process) (bool, []byte, error) {
+		re, err := q.Recapture()
+		if err != nil {
+			return false, nil, err
+		}
+		return string(re) == string(direct), re, nil
+	}
+
+	var failure error
+	res := &HotpathResult{}
+
+	// Row 1 — the seed path: monolithic v1 capture and restore.
+	runtime.GC()
+	monoCap := stats.Repeat(cfg.repeats(), func() {
+		if _, err := p.Recapture(); err != nil {
+			failure = err
+		}
+	})
+	var monoProc *vm.Process
+	monoRes := stats.Repeat(cfg.repeats(), func() {
+		q, err := vm.RestoreProcess(e.Prog, arch.Ultra5, direct)
+		if err != nil {
+			failure = err
+			return
+		}
+		monoProc = q
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	monoOK, _, err := verify(monoProc)
+	if err != nil {
+		return nil, err
+	}
+	monoRT := monoCap + monoRes
+	res.Rows = append(res.Rows, HotpathRow{
+		Path: "mono v1 (seed)", Bytes: len(direct),
+		Capture: monoCap, Restore: monoRes, RoundTrip: monoRT,
+		Throughput: mbps(len(direct), monoRT),
+		Identical:  monoOK,
+	})
+
+	// Row 2 — sectioned, fully serial on both sides.
+	runtime.GC()
+	var snap []byte
+	serCap := stats.Repeat(cfg.repeats(), func() {
+		s, err := p.CaptureSections(1)
+		if err != nil {
+			failure = err
+			return
+		}
+		snap = s
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	capBreakdown := p.SectionCaptureMetrics()
+	var serProc *vm.Process
+	serRes := stats.Repeat(cfg.repeats(), func() {
+		q, err := restoreOnce(snap, 1)
+		if err != nil {
+			failure = err
+			return
+		}
+		serProc = q
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	resBreakdown := serProc.SectionRestoreMetrics()
+	serOK, serRe, err := verify(serProc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Model both phases on an ideal pool: the per-section times of the
+	// serial runs schedule onto hotpathWorkers workers (capture: every
+	// section; restore: the heap components — frames and globals fill
+	// serially on both paths), the remainder stays serial.
+	var capDurs []time.Duration
+	var capSum time.Duration
+	for _, s := range capBreakdown {
+		capDurs = append(capDurs, s.Elapsed)
+		capSum += s.Elapsed
+	}
+	capResidual := serCap - capSum
+	if capResidual < 0 {
+		capResidual = 0
+	}
+	modelCap := capResidual + makespan(capDurs, hotpathWorkers)
+
+	var heapDurs []time.Duration
+	var heapSum time.Duration
+	for _, s := range resBreakdown {
+		if s.Kind == "heap" {
+			heapDurs = append(heapDurs, s.Elapsed)
+			heapSum += s.Elapsed
+		}
+	}
+	resResidual := serRes - heapSum
+	if resResidual < 0 {
+		resResidual = 0
+	}
+	modelRes := resResidual + makespan(heapDurs, hotpathWorkers)
+	modelRT := modelCap + modelRes
+
+	serRT := serCap + serRes
+	res.Rows = append(res.Rows, HotpathRow{
+		Path: "sectioned serial", Bytes: len(snap),
+		Capture: serCap, Restore: serRes, RoundTrip: serRT,
+		Throughput:     mbps(len(snap), serRT),
+		CaptureWorkers: 1, RestoreWorkers: serProc.RestoreWorkersEngaged(),
+		Identical: serOK,
+	})
+
+	// Row 3 — the hotpath: pooled encoders and parallel restore.
+	runtime.GC()
+	var hotSnap []byte
+	var capWorkers int
+	hotCap := stats.Repeat(cfg.repeats(), func() {
+		s, err := p.CaptureSections(hotpathWorkers)
+		if err != nil {
+			failure = err
+			return
+		}
+		hotSnap = s
+		if w := p.SectionWorkersEngaged(); w > capWorkers {
+			capWorkers = w
+		}
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	var hotProc *vm.Process
+	hotRes := stats.Repeat(cfg.repeats(), func() {
+		q, err := restoreOnce(hotSnap, hotpathWorkers)
+		if err != nil {
+			failure = err
+			return
+		}
+		hotProc = q
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	hotOK, hotRe, err := verify(hotProc)
+	if err != nil {
+		return nil, err
+	}
+	hotRT := hotCap + hotRes
+	res.Rows = append(res.Rows, HotpathRow{
+		Path: "sectioned hotpath", Bytes: len(hotSnap),
+		Capture: hotCap, Restore: hotRes, RoundTrip: hotRT,
+		Throughput:      mbps(len(hotSnap), hotRT),
+		ModelRoundTrip:  modelRT,
+		ModelThroughput: mbps(len(hotSnap), modelRT),
+		CaptureWorkers:  capWorkers, RestoreWorkers: hotProc.RestoreWorkersEngaged(),
+		Identical: hotOK && string(hotSnap) == string(snap),
+	})
+
+	seed := res.Rows[0].Throughput
+	res.Speedup = res.Rows[2].Throughput / seed
+	res.ModelSpeedup = res.Rows[2].ModelThroughput / seed
+	res.RestoreIdentical = string(serRe) == string(hotRe)
+	return res, nil
+}
+
+// mbps converts a byte count over a duration to MB/s.
+func mbps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}
+
+// PrintHotpath renders the E13 comparison.
+func PrintHotpath(w io.Writer, r *HotpathResult) {
+	t := stats.Table{
+		Title: fmt.Sprintf("E13 (hot path): capture+restore round trip, seed vs pooled/zero-copy/parallel, %d-worker pools, Ultra 5", hotpathWorkers),
+		Headers: []string{"Path", "Bytes", "Capture", "Restore", "Round trip",
+			"MB/s", "Model RT", "Model MB/s", "Cap W", "Res W", "Identical"},
+	}
+	for _, row := range r.Rows {
+		model, modelTp := "-", "-"
+		if row.ModelRoundTrip > 0 {
+			model = row.ModelRoundTrip.String()
+			modelTp = fmt.Sprintf("%.1f", row.ModelThroughput)
+		}
+		t.AddRow(row.Path, row.Bytes, row.Capture, row.Restore, row.RoundTrip,
+			fmt.Sprintf("%.1f", row.Throughput), model, modelTp,
+			row.CaptureWorkers, row.RestoreWorkers, row.Identical)
+	}
+	fmt.Fprintln(w, t.String())
+	fmt.Fprintf(w, "hotpath vs seed: measured %.2fx, modeled %.2fx; serial and parallel restores identical: %v\n",
+		r.Speedup, r.ModelSpeedup, r.RestoreIdentical)
+	if runtime.GOMAXPROCS(0) < hotpathWorkers {
+		fmt.Fprintf(w, "note: host has GOMAXPROCS=%d < %d pool workers; the measured columns cannot show\n"+
+			"the parallel gain here — the Model columns schedule the measured serial per-section\n"+
+			"times on an ideal %d-worker pool (the E9a device, applied to the whole round trip).\n",
+			runtime.GOMAXPROCS(0), hotpathWorkers, hotpathWorkers)
+	}
+	fmt.Fprintln(w)
+}

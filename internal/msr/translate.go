@@ -72,10 +72,18 @@ func ResolveStats(t *Table, m *arch.Machine, addr memory.Address, st *Stats) (Re
 // AddrOf translates a machine-independent reference back to a
 // machine-specific address, the restoration direction.
 func AddrOf(t *Table, m *arch.Machine, r Ref) (memory.Address, error) {
+	return AddrOfStats(t, m, r, &t.Stats)
+}
+
+// AddrOfStats is AddrOf with the resolve counter recorded into st, so
+// concurrent section restorers can translate references without racing on
+// the table's Stats — the restoration-direction twin of ResolveStats (the
+// block index is read-only once every section's blocks are registered).
+func AddrOfStats(t *Table, m *arch.Machine, r Ref, st *Stats) (memory.Address, error) {
 	if r.IsNull() {
 		return 0, nil
 	}
-	b, ok := t.ByID(r.ID)
+	b, ok := t.ByIDStats(r.ID, st)
 	if !ok {
 		return 0, fmt.Errorf("%w: %s", ErrUnknownID, r.ID)
 	}

@@ -58,11 +58,14 @@ func marshalWant(want []uint32) []byte {
 }
 
 // marshalSections frames the wanted section bodies, each tagged with its
-// manifest entry index.
+// manifest entry index. The capacity accounts for XDR padding so the
+// frame is assembled in exactly one allocation — the bodies' only copy on
+// the send path (they are store blobs, never aliased by the caller after
+// the frame is built).
 func marshalSections(indices []uint32, bodies [][]byte) []byte {
 	n := 12
 	for _, b := range bodies {
-		n += 8 + len(b)
+		n += 8 + (len(b)+3)&^3
 	}
 	e := xdr.NewEncoder(n)
 	e.PutUint32(sessionMagic)

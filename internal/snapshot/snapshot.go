@@ -101,17 +101,17 @@ const maxSections = 1 << 20
 
 // PutPrologue writes the snapshot magic and section count.
 func PutPrologue(enc *xdr.Encoder, sections int) {
-	enc.PutUint32(Magic)
-	enc.PutUint32(uint32(sections))
+	enc.Put2Uint32(Magic, uint32(sections))
 }
 
-// Append frames one section onto enc: header, CRC, padded body.
+// Append frames one section onto enc: header, CRC, padded body. The
+// header is written as one slab, and the body goes through WriteRaw — so
+// when enc streams to a chunk sink (core.SendSectioned), a section body
+// built by a pool worker flows from its encode buffer straight into the
+// stream chunks, never staging through enc's own buffer.
 func Append(enc *xdr.Encoder, s Section) {
-	enc.PutUint32(uint32(s.Kind))
-	enc.PutUint32(s.ID)
-	enc.PutUint32(uint32(len(s.Body)))
-	enc.PutUint32(crc32.ChecksumIEEE(s.Body))
-	enc.PutFixedOpaque(s.Body)
+	enc.Put4Uint32(uint32(s.Kind), s.ID, uint32(len(s.Body)), crc32.ChecksumIEEE(s.Body))
+	enc.WriteRaw(s.Body)
 }
 
 // Encode frames a whole snapshot into a fresh buffer (prologue plus

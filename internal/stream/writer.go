@@ -60,6 +60,21 @@ type Writer struct {
 	stats WriterStats
 }
 
+// chunkBufs recycles chunk payload buffers across transfers. Only the
+// plain Writer may use it: a chunk's payload dies once marshalData copies
+// it into the frame, so txLoop can recycle right after Send. A Session
+// must NOT pool its payloads — it retains transmitted chunks until the
+// receiver's acknowledgement watermark passes them, for rewind replay.
+var chunkBufs = sync.Pool{New: func() any { return []byte(nil) }}
+
+func getChunkBuf(capacity int) []byte {
+	b := chunkBufs.Get().([]byte)
+	if cap(b) < capacity {
+		b = make([]byte, 0, capacity)
+	}
+	return b[:0]
+}
+
 // NewWriter starts a streamed transfer over t. The receiving side must be
 // running a Reader on the peer.
 func NewWriter(t link.Transport, cfg Config) *Writer {
@@ -67,7 +82,7 @@ func NewWriter(t link.Transport, cfg Config) *Writer {
 	w := &Writer{
 		cfg:      cfg,
 		t:        t,
-		buf:      make([]byte, 0, cfg.ChunkSize),
+		buf:      getChunkBuf(cfg.ChunkSize),
 		sendq:    make(chan chunk, cfg.Window),
 		abort:    make(chan struct{}),
 		done:     make(chan struct{}),
@@ -123,7 +138,11 @@ func (w *Writer) noteAcked(next uint32, all bool) {
 func (w *Writer) txLoop() {
 	for c := range w.sendq {
 		w.noteSent(c.seq)
-		if err := w.t.Send(marshalData(c, crc32.ChecksumIEEE(c.payload))); err != nil {
+		err := w.t.Send(marshalData(c, crc32.ChecksumIEEE(c.payload)))
+		// marshalData copied the payload into the frame; the buffer is
+		// dead either way and goes back to the pool.
+		chunkBufs.Put(c.payload[:0])
+		if err != nil {
 			w.fail(fmt.Errorf("stream: chunk %d send: %w", c.seq, err))
 			// Keep draining so the producer never blocks on a dead queue.
 			continue
@@ -175,7 +194,10 @@ func (w *Writer) recvLoop() {
 }
 
 // Write implements io.Writer: it buffers p, cutting and enqueueing
-// full chunks. It blocks when the transmit window is full.
+// full chunks. It blocks when the transmit window is full. Write copies p
+// into the chunk buffer before returning — it never retains p — so
+// callers (the XDR encoder's flush sink, whose buffers return to a pool)
+// may reuse p immediately.
 func (w *Writer) Write(p []byte) (int, error) {
 	if err := w.Err(); err != nil {
 		return 0, err
@@ -204,7 +226,7 @@ func (w *Writer) cut() error {
 	w.crc = crc32.Update(w.crc, crc32.IEEETable, c.payload)
 	w.bytes += int64(len(c.payload))
 	w.stats.Chunks++
-	w.buf = make([]byte, 0, w.cfg.ChunkSize)
+	w.buf = getChunkBuf(w.cfg.ChunkSize)
 	start := time.Now()
 	select {
 	case w.sendq <- c:

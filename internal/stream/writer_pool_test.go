@@ -1,0 +1,93 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/link"
+)
+
+// TestWriterDoesNotRetainCallerBytes pins the Write ownership contract the
+// pooled-encoder capture path depends on: Write copies p into the chunk
+// buffer before returning, so a caller — the XDR encoder's flush sink
+// handing out aliases of its internal buffer — may overwrite p the moment
+// Write returns. The caller scribbles over every slice immediately after
+// writing it; the reassembled stream must still be the original bytes.
+func TestWriterDoesNotRetainCallerBytes(t *testing.T) {
+	cfg := Config{ChunkSize: 512, Window: 4, AckEvery: 2}
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	res := runReader(NewReader(b, cfg))
+	w := NewWriter(a, cfg)
+
+	payload := testPayload(40_000, 11)
+	scratch := make([]byte, 700) // reused for every Write, like a sink slice
+	for off := 0; off < len(payload); {
+		m := copy(scratch, payload[off:])
+		if _, err := w.Write(scratch[:m]); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			scratch[i] = 0xDF // caller reuses its buffer immediately
+		}
+		off += m
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if !bytes.Equal(r.data, payload) {
+		t.Fatal("stream corrupted: Writer retained a caller slice past Write's return")
+	}
+}
+
+// TestWriterChunkPoolConcurrentTransfers runs several writer/reader pairs
+// at once so recycled chunk buffers migrate between transfers through the
+// package pool. Each stream must arrive intact — a buffer recycled before
+// its transport Send completed would corrupt a neighbor. CI runs this
+// package under -race, which additionally catches any unsynchronized
+// reuse of a pooled buffer.
+func TestWriterChunkPoolConcurrentTransfers(t *testing.T) {
+	cfg := Config{ChunkSize: 256, Window: 4, AckEvery: 2}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			a, b := link.Pipe()
+			defer a.Close()
+			defer b.Close()
+			res := runReader(NewReader(b, cfg))
+			w := NewWriter(a, cfg)
+			payload := testPayload(30_000+seed*100, int64(seed))
+			if _, err := w.Write(payload); err != nil {
+				errs <- err
+				return
+			}
+			if err := w.Close(); err != nil {
+				errs <- err
+				return
+			}
+			r := <-res
+			if r.err != nil {
+				errs <- r.err
+				return
+			}
+			if !bytes.Equal(r.data, payload) {
+				errs <- fmt.Errorf("transfer %d: stream corrupted by pooled chunk reuse", seed)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/minic"
+	"repro/internal/workload"
 )
 
 // compileBench builds a program once for benchmarking.
@@ -108,6 +109,63 @@ func BenchmarkMallocPath(b *testing.B) {
 		}
 	}
 }
+
+// benchSectionedSnapshot runs a sharded-lists workload to its migration
+// point and returns a sectioned (v3) snapshot of it.
+func benchSectionedSnapshot(b *testing.B) (*minic.Program, []byte) {
+	b.Helper()
+	prog, err := minic.Compile(workload.ShardedListsSource(8, 400), minic.PollPolicy{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewProcess(prog, arch.Ultra5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.MaxSteps = 50_000_000
+	p.PollHook = func(*Process, *minic.Site) bool { return true }
+	res, err := p.Run()
+	if err != nil || !res.Migrated {
+		b.Fatal("setup failed to reach migration point")
+	}
+	snap, err := p.CaptureSections(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog, snap
+}
+
+// benchRestore restores the snapshot with the given heap-fill pool width.
+// It backs both restore benchmarks so the serial and parallel rows differ
+// only in RestoreWorkers; CI's bench smoke runs them (with ReportAllocs)
+// to keep the parallel fill path honest about per-restore allocations —
+// the pool must add workers, not garbage.
+func benchRestore(b *testing.B, workers int) {
+	prog, snap := benchSectionedSnapshot(b)
+	b.SetBytes(int64(len(snap)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := NewProcess(prog, arch.Ultra5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.RestoreWorkers = workers
+		if err := q.RestoreInto(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialRestore measures the sectioned restore with the heap
+// fills fully serial (the pre-pool behavior).
+func BenchmarkSerialRestore(b *testing.B) { benchRestore(b, 1) }
+
+// BenchmarkParallelRestore measures the same restore with a 4-wide heap
+// fill pool. On a multi-core host the heap portion shrinks toward the
+// makespan of its components; the restored image is identical either way
+// (TestParallelRestoreMatrix pins that).
+func BenchmarkParallelRestore(b *testing.B) { benchRestore(b, 4) }
 
 // BenchmarkResumeFastForward measures how quickly a restored process
 // reaches its migration point through deep nesting.

@@ -24,6 +24,11 @@ var (
 	mRestoreLat     = obs.Default.Histogram("vm.restore.latency")
 	mSectionEncode  = obs.Default.Histogram("vm.section.encode")
 	mSectionRestore = obs.Default.Histogram("vm.section.restore")
+	// Parallel-restore instrumentation: the pool width the last sectioned
+	// restore engaged, and the fill latency of each heap component as
+	// measured on its worker.
+	mRestorePar     = obs.Default.Gauge("vm.restore.parallelism")
+	mRestoreCompLat = obs.Default.Histogram("vm.restore.component.latency")
 )
 
 // flushCapture publishes one completed capture's encoder counters. The

@@ -1,0 +1,114 @@
+package vm
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/minic"
+	"repro/internal/workload"
+)
+
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// restoreWith rebuilds a fresh process from the snapshot with the given
+// restore pool width and returns its v1 recapture.
+func restoreWith(t *testing.T, prog *minic.Program, m *arch.Machine, snap []byte, workers int) (*Process, []byte) {
+	t.Helper()
+	q, err := NewProcess(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.RestoreWorkers = workers
+	if err := q.RestoreInto(snap); err != nil {
+		t.Fatalf("restore with %d workers on %s: %v", workers, m.Name, err)
+	}
+	re, err := q.Recapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, re
+}
+
+// TestParallelRestoreMatrix restores the same sectioned snapshot with a
+// serial and a parallel heap-fill pool on every endianness/width pairing
+// of the transfer matrix, and requires byte-identical recaptures — the
+// parallel restore must be invisible in the restored state. CI runs this
+// package with -race -count=2, so the worker pool's sharing discipline
+// (private MSRLT counters, pre-materialized heap backing) is exercised
+// under the race detector.
+func TestParallelRestoreMatrix(t *testing.T) {
+	p, prog, v1, want := stopSectioned(t, workload.ShardedListsSource(6, 60))
+	snap, err := p.CaptureSections(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []*arch.Machine{
+		arch.DEC5000, // LE ILP32
+		arch.SPARC20, // BE ILP32
+		arch.AMD64,   // LE LP64
+		arch.SPARCV9, // BE LP64
+		arch.I386,    // LE ILP32, packed doubles
+		arch.Alpha,   // LE LP64
+	}
+	for _, m := range machines {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			_, serial := restoreWith(t, prog, m, snap, 1)
+			if !bytes.Equal(serial, v1) {
+				t.Fatalf("serial restore on %s does not recapture the source state", m.Name)
+			}
+			for _, w := range []int{2, 4, 8} {
+				q, par := restoreWith(t, prog, m, snap, w)
+				if !bytes.Equal(par, serial) {
+					t.Errorf("%d-worker restore on %s differs from the serial restore", w, m.Name)
+				}
+				if got := q.RestoreWorkersEngaged(); got < 1 || got > w {
+					t.Errorf("%d-worker restore engaged %d workers", w, got)
+				}
+				if w == 4 {
+					q.Stdout = &bytes.Buffer{}
+					q.MaxSteps = 50_000_000
+					res, err := q.Run()
+					if err != nil {
+						t.Fatalf("resume on %s: %v", m.Name, err)
+					}
+					if res.Migrated || res.ExitCode != want {
+						t.Errorf("%s: resumed run = %+v, want exit %d", m.Name, res, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreWorkerCountResolution pins the worker-resolution contract:
+// an explicit RestoreWorkers wins, the process-wide cap applies only to
+// the zero default, and a negative value ignores the cap.
+func TestRestoreWorkerCountResolution(t *testing.T) {
+	defer SetMaxRestoreWorkers(0)
+	p := &Process{}
+
+	SetMaxRestoreWorkers(1)
+	if got := p.restoreWorkerCount(); got != 1 {
+		t.Errorf("capped default = %d, want 1", got)
+	}
+	p.RestoreWorkers = 3
+	if got := p.restoreWorkerCount(); got != 3 {
+		t.Errorf("explicit = %d, want 3 (cap must not apply)", got)
+	}
+	p.RestoreWorkers = -1
+	if got, want := p.restoreWorkerCount(), maxProcs(); got != want {
+		t.Errorf("negative = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetMaxRestoreWorkers(0)
+	p.RestoreWorkers = 0
+	if got, want := p.restoreWorkerCount(), maxProcs(); got != want {
+		t.Errorf("uncapped default = %d, want GOMAXPROCS %d", got, want)
+	}
+	if MaxRestoreWorkers() != 0 {
+		t.Errorf("MaxRestoreWorkers = %d after reset", MaxRestoreWorkers())
+	}
+}

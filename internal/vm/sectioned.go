@@ -14,7 +14,9 @@ package vm
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/collect"
@@ -24,6 +26,41 @@ import (
 	"repro/internal/stats"
 	"repro/internal/xdr"
 )
+
+// maxRestoreWorkers is the process-wide cap on the parallel-restore pool,
+// applied when a Process leaves RestoreWorkers at its zero default. Zero
+// means uncapped (GOMAXPROCS). Operators set it with the -restore-workers
+// flag on migd and migstate.
+var maxRestoreWorkers atomic.Int32
+
+// SetMaxRestoreWorkers caps the heap-section restore pool for every
+// Process that does not set RestoreWorkers explicitly. n <= 0 removes the
+// cap. The cap never raises the pool above GOMAXPROCS.
+func SetMaxRestoreWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxRestoreWorkers.Store(int32(n))
+}
+
+// MaxRestoreWorkers returns the current process-wide restore pool cap
+// (0 = uncapped).
+func MaxRestoreWorkers() int { return int(maxRestoreWorkers.Load()) }
+
+// restoreWorkerCount resolves the pool width for one sectioned restore.
+func (p *Process) restoreWorkerCount() int {
+	switch {
+	case p.RestoreWorkers > 0:
+		return p.RestoreWorkers
+	case p.RestoreWorkers < 0:
+		return runtime.GOMAXPROCS(0)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if cap := MaxRestoreWorkers(); cap > 0 && w > cap {
+		w = cap
+	}
+	return w
+}
 
 // SectionCaptureMetrics returns the per-section cost profile of the last
 // sectioned capture (empty if the last capture was monolithic).
@@ -36,6 +73,11 @@ func (p *Process) SectionRestoreMetrics() stats.SectionBreakdown { return p.sect
 // SectionWorkersEngaged reports how many pool workers encoded at least
 // one section during the last sectioned capture.
 func (p *Process) SectionWorkersEngaged() int { return p.sectionWorkers }
+
+// RestoreWorkersEngaged reports how many pool workers filled at least one
+// heap section during the sectioned restore that initialized this process
+// (0 for a monolithic restore or a snapshot without heap sections).
+func (p *Process) RestoreWorkersEngaged() int { return p.restoreWorkers }
 
 // CaptureSections re-collects the full process state at the stopped
 // migration point in the sectioned (v3) snapshot format. workers bounds
@@ -130,6 +172,9 @@ func (p *Process) captureSectionsTo(enc *xdr.Encoder, innermost *minic.Site, wor
 			st.Frames[i].Elapsed)
 	}
 	appendSec(snapshot.Section{Kind: snapshot.KindGlobals, Body: st.Globals.Body}, st.Globals.Elapsed)
+	// Every body has been spliced into the output stream; hand the pooled
+	// section encoders back (st.Stats and st.Workers survive the release).
+	st.Release()
 
 	save := st.Stats
 	save.Searches = p.Table.Stats.Searches - baseSearches
@@ -203,6 +248,48 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 	nextHeap := uint32(0)
 	framesSeen := make([]bool, nframes)
 	globalsSeen := false
+
+	// Heap-component sections are contiguous and independent, so they are
+	// batched as they stream in and restored together when the first
+	// variable section arrives: block allocation stays serial in section
+	// order (the heap layout is identical to a fully serial restore), then
+	// the component contents fill on a bounded worker pool — the restore
+	// twin of the capture side's EncodeSections.
+	var heapBodies [][]byte
+	restoreHeapBatch := func() error {
+		if heapDone {
+			return nil
+		}
+		heapDone = true
+		if len(heapBodies) == 0 {
+			return nil
+		}
+		hr, err := collect.RestoreHeapSections(p.Space, p.Table, p.TI, heapBodies,
+			p.Instrument, p.restoreWorkerCount())
+		if err != nil {
+			return fmt.Errorf("vm: restoring heap sections: %w", err)
+		}
+		mRestorePar.Set(int64(hr.Workers))
+		p.restoreWorkers = hr.Workers
+		for i := range heapBodies {
+			total.Add(hr.PerSection[i])
+			secElapsed := hr.Prepare[i] + hr.Elapsed[i]
+			breakdown = append(breakdown, stats.SectionMetric{
+				Kind:    snapshot.KindHeap.String(),
+				ID:      uint32(i),
+				Bytes:   len(heapBodies[i]),
+				Elapsed: secElapsed,
+			})
+			c := span.Child("section")
+			c.SetSection(snapshot.KindHeap.String(), uint32(i))
+			c.SetBytes(int64(len(heapBodies[i])))
+			c.SetDuration(secElapsed)
+			mSectionRestore.Observe(secElapsed)
+			mRestoreCompLat.Observe(hr.Elapsed[i])
+		}
+		return nil
+	}
+
 	for rd.Remaining() > 0 {
 		sec, err := rd.Next()
 		if err != nil {
@@ -222,9 +309,12 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 					collect.ErrCorruptStream, sec.ID, nextHeap)
 			}
 			nextHeap++
-			rs, err = collect.RestoreHeapSection(p.Space, p.Table, p.TI, sec.Body, p.Instrument)
+			heapBodies = append(heapBodies, sec.Body)
+			continue
 		case snapshot.KindFrame:
-			heapDone = true
+			if err := restoreHeapBatch(); err != nil {
+				return err
+			}
 			d := int(sec.ID)
 			if d < 1 || d > nframes {
 				return fmt.Errorf("%w: frame section %d outside the %d restored frames",
@@ -242,7 +332,9 @@ func (p *Process) restoreSectioned(state []byte, restoreStart time.Time) error {
 			rs, err = collect.RestoreVarSection(p.Space, p.Table, p.TI, sec.Body,
 				live, memory.Stack, uint32(d), p.Instrument)
 		case snapshot.KindGlobals:
-			heapDone = true
+			if err := restoreHeapBatch(); err != nil {
+				return err
+			}
 			if globalsSeen {
 				return fmt.Errorf("%w: duplicate globals section", collect.ErrCorruptStream)
 			}

@@ -123,6 +123,13 @@ type Process struct {
 	// Instrument enables fine-grained timing in capture/restore stats.
 	Instrument bool
 
+	// RestoreWorkers bounds the worker pool that fills heap-component
+	// sections during a sectioned (v3) restore: 1 is fully serial,
+	// 0 (the default) selects GOMAXPROCS capped by SetMaxRestoreWorkers,
+	// and a negative value also selects GOMAXPROCS but ignores the cap.
+	// The restored memory image is identical for every worker count.
+	RestoreWorkers int
+
 	// Obs, when set, receives one child span per capture/restore phase
 	// (partition, encode, per-section work). Nil disables tracing at the
 	// cost of a nil-check — the default.
@@ -143,6 +150,7 @@ type Process struct {
 	sectionCapture stats.SectionBreakdown
 	sectionRestore stats.SectionBreakdown
 	sectionWorkers int
+	restoreWorkers int
 
 	globalAddrs []memory.Address
 	frames      []*Frame

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrShortBuffer is returned when a decode runs past the end of the stream.
@@ -49,6 +50,36 @@ type Encoder struct {
 // NewEncoder returns an encoder whose buffer has the given initial capacity.
 func NewEncoder(capacity int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// encPool recycles encoders (and, through them, their grown buffers)
+// across captures. Buffers reach steady-state capacity after the first
+// few uses, so the hot path stops allocating.
+var encPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled encoder whose buffer has at least the given
+// capacity. The encoder is reset and has no sink.
+//
+// Ownership contract: every slice obtained from a pooled encoder —
+// Bytes(), Grow() reservations, and slices handed to a sink — aliases the
+// encoder's internal buffer and dies at Release. A caller that needs the
+// encoded stream beyond Release must copy it first.
+func GetEncoder(capacity int) *Encoder {
+	e := encPool.Get().(*Encoder)
+	if cap(e.buf) < capacity {
+		e.buf = make([]byte, 0, capacity)
+	}
+	return e
+}
+
+// Release resets the encoder and returns it to the pool, retaining its
+// buffer capacity for the next GetEncoder. The caller must not touch the
+// encoder, or any slice it handed out, after Release.
+func (e *Encoder) Release() {
+	e.sink = nil
+	e.sinkThreshold = 0
+	e.Reset()
+	encPool.Put(e)
 }
 
 // SetSink attaches fn to receive completed prefixes of the encoded stream.
@@ -143,6 +174,68 @@ func (e *Encoder) PutUint32(v uint32) {
 // PutInt32 encodes a 32-bit signed integer.
 func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
 
+// Put2Uint32 encodes two 32-bit unsigned integers in one slab write —
+// one grow instead of two, for fixed small records on the hot path.
+func (e *Encoder) Put2Uint32(a, b uint32) {
+	s := e.grow(8)
+	s[0] = byte(a >> 24)
+	s[1] = byte(a >> 16)
+	s[2] = byte(a >> 8)
+	s[3] = byte(a)
+	s[4] = byte(b >> 24)
+	s[5] = byte(b >> 16)
+	s[6] = byte(b >> 8)
+	s[7] = byte(b)
+}
+
+// Put4Uint32 encodes four 32-bit unsigned integers in one slab write.
+// This is the shape of a pointer reference (segment, major, minor,
+// ordinal) and of a section-directory entry, the two records the
+// collector emits thousands of per capture; batching them collapses four
+// grow calls into one.
+func (e *Encoder) Put4Uint32(a, b, c, d uint32) {
+	s := e.grow(16)
+	s[0] = byte(a >> 24)
+	s[1] = byte(a >> 16)
+	s[2] = byte(a >> 8)
+	s[3] = byte(a)
+	s[4] = byte(b >> 24)
+	s[5] = byte(b >> 16)
+	s[6] = byte(b >> 8)
+	s[7] = byte(b)
+	s[8] = byte(c >> 24)
+	s[9] = byte(c >> 16)
+	s[10] = byte(c >> 8)
+	s[11] = byte(c)
+	s[12] = byte(d >> 24)
+	s[13] = byte(d >> 16)
+	s[14] = byte(d >> 8)
+	s[15] = byte(d)
+}
+
+// PutUint32s encodes a slice of 32-bit unsigned integers without a length
+// prefix (an XDR fixed-length array), in sink-threshold segments like
+// PutFloat64s so large arrays still stream incrementally.
+func (e *Encoder) PutUint32s(vs []uint32) {
+	for len(vs) > 0 {
+		seg := len(vs)
+		if e.sink != nil {
+			if max := e.sinkThreshold / 4; max >= 1 && seg > max {
+				seg = max
+			}
+		}
+		b := e.grow(4 * seg)
+		for i, v := range vs[:seg] {
+			off := 4 * i
+			b[off+0] = byte(v >> 24)
+			b[off+1] = byte(v >> 16)
+			b[off+2] = byte(v >> 8)
+			b[off+3] = byte(v)
+		}
+		vs = vs[seg:]
+	}
+}
+
 // PutUint64 encodes a 64-bit unsigned integer (XDR unsigned hyper).
 func (e *Encoder) PutUint64(v uint64) {
 	b := e.grow(8)
@@ -196,6 +289,51 @@ func (e *Encoder) PutFixedOpaque(p []byte) {
 			b[i] = 0
 		}
 		off += seg
+	}
+}
+
+// WriteRaw appends fixed-length opaque data like PutFixedOpaque, but when
+// a sink is attached the caller's bytes are handed to the sink directly —
+// the zero-copy framing path: a section body built by a pool worker
+// reaches the chunk writer without an intermediate copy into this
+// encoder's buffer. The encoded stream is byte-identical either way.
+//
+// Ownership: the sink receives p (in threshold-sized segments) under the
+// standard sink contract — valid only for the duration of the call, never
+// retained. Without a sink the bytes are copied, so the caller keeps
+// ownership of p in every case.
+func (e *Encoder) WriteRaw(p []byte) {
+	if e.sink == nil {
+		e.PutFixedOpaque(p)
+		return
+	}
+	// Flush the buffered prefix first so the raw bytes splice into the
+	// stream in order.
+	if len(e.buf) > 0 {
+		e.emit()
+	}
+	th := e.sinkThreshold
+	if th < 4 {
+		th = 32 * 1024
+	}
+	for off := 0; off < len(p); off += th {
+		end := off + th
+		if end > len(p) {
+			end = len(p)
+		}
+		e.calls++
+		if e.sinkErr == nil {
+			if err := e.sink(p[off:end]); err != nil {
+				e.sinkErr = err
+			}
+		}
+		e.flushed += end - off
+	}
+	if pad := (4 - len(p)&3) & 3; pad > 0 {
+		b := e.grow(pad)
+		for i := range b {
+			b[i] = 0
+		}
 	}
 }
 
@@ -309,6 +447,33 @@ func (d *Decoder) Uint32() (uint32, error) {
 func (d *Decoder) Int32() (int32, error) {
 	v, err := d.Uint32()
 	return int32(v), err
+}
+
+// Uint32x3 decodes three 32-bit unsigned integers in one take — the tail
+// of a non-null pointer reference after its segment word.
+func (d *Decoder) Uint32x3() (a, b, c uint32, err error) {
+	s, err := d.take(12)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	a = uint32(s[0])<<24 | uint32(s[1])<<16 | uint32(s[2])<<8 | uint32(s[3])
+	b = uint32(s[4])<<24 | uint32(s[5])<<16 | uint32(s[6])<<8 | uint32(s[7])
+	c = uint32(s[8])<<24 | uint32(s[9])<<16 | uint32(s[10])<<8 | uint32(s[11])
+	return a, b, c, nil
+}
+
+// Uint32x4 decodes four 32-bit unsigned integers in one take — the shape
+// of a section-directory entry.
+func (d *Decoder) Uint32x4() (a, b, c, e uint32, err error) {
+	s, err := d.take(16)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	a = uint32(s[0])<<24 | uint32(s[1])<<16 | uint32(s[2])<<8 | uint32(s[3])
+	b = uint32(s[4])<<24 | uint32(s[5])<<16 | uint32(s[6])<<8 | uint32(s[7])
+	c = uint32(s[8])<<24 | uint32(s[9])<<16 | uint32(s[10])<<8 | uint32(s[11])
+	e = uint32(s[12])<<24 | uint32(s[13])<<16 | uint32(s[14])<<8 | uint32(s[15])
+	return a, b, c, e, nil
 }
 
 // Uint64 decodes a 64-bit unsigned integer.
