@@ -27,9 +27,18 @@
 // streaming (v2) client, and a sectioned (v3, the default) client can
 // migrate into the same daemon back to back or at the same time. -retry and -retry-timeout let the source wait for
 // a daemon that has not started listening yet.
+//
+// With -live on both sides the session upgrades to the pre-copy (v4)
+// path: the source keeps executing while the heap ships, re-sending only
+// dirtied blocks in iterative delta rounds (-precopy-rounds,
+// -dirty-threshold tune the convergence cutoff), and pauses only for the
+// final delta — bounded downtime instead of a full stop-and-copy stall.
+// A -live client against a daemon without -live (or vice versa) falls
+// back to the ordinary negotiated transfer.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -68,6 +77,9 @@ type options struct {
 	trace          bool
 	traceDir       string
 	store          *store.Store
+	live           bool
+	precopyRounds  int
+	dirtyThreshold int
 }
 
 // namedEngine pairs a compiled engine with its registry name (the program
@@ -120,6 +132,9 @@ func main() {
 	trace := fs.Bool("trace", false, "serve: log a per-session phase-span tree after each session")
 	traceDir := fs.String("trace-dir", "", "serve: dump a flight-<traceID>.json recording into this directory when a session fails (empty disables)")
 	storeDir := fs.String("store", "", "checkpoint store directory enabling warm (dedup'd) transfers with store-equipped peers (empty disables)")
+	live := fs.Bool("live", false, "offer the live pre-copy (v4) path: overlap execution with the transfer, pausing only for the final delta round (falls back when the peer lacks -live)")
+	precopyRounds := fs.Int("precopy-rounds", 0, "live: delta rounds before the forced final pause (0 = default)")
+	dirtyThreshold := fs.Int("dirty-threshold", 0, "live: pause for the final round once this few blocks are dirty (0 = default)")
 	restoreWorkers := fs.Int("restore-workers", 0,
 		"cap the parallel heap-section restore pool (0 = GOMAXPROCS; the restored image is identical at any setting)")
 	fs.Parse(os.Args[2:])
@@ -142,6 +157,9 @@ func main() {
 		pprofAddr:      *pprofAddr,
 		trace:          *trace,
 		traceDir:       *traceDir,
+		live:           *live,
+		precopyRounds:  *precopyRounds,
+		dirtyThreshold: *dirtyThreshold,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir, obs.Default)
@@ -163,10 +181,10 @@ func usage() {
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
              [-pprof HOST:PORT] [-trace] [-trace-dir DIR] [-store DIR]
-             [-restore-workers N]
+             [-restore-workers N] [-live]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
              [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]
-             [-store DIR]`)
+             [-store DIR] [-live [-precopy-rounds N] [-dirty-threshold N]]`)
 	os.Exit(2)
 }
 
@@ -211,7 +229,10 @@ func loadEngines(paths programList, mode string) []namedEngine {
 
 // sessionConfig builds this side's negotiation posture from the flags.
 func (o options) sessionConfig() session.Config {
-	cfg := session.Config{ChunkSize: o.chunkSize, Window: o.window, Store: o.store}
+	cfg := session.Config{
+		ChunkSize: o.chunkSize, Window: o.window, Store: o.store,
+		Live: o.live, PrecopyRounds: o.precopyRounds, DirtyThreshold: o.dirtyThreshold,
+	}
 	if o.noStream {
 		cfg.MaxVersion = core.VersionMono
 	}
@@ -290,6 +311,12 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 			if info.Warm != nil {
 				fmt.Printf("[migd %s] session %d: warm transfer: %s\n", m.Name, info.ID, info.Warm)
 			}
+			if info.Live != nil {
+				// StopReason is the source's convergence decision; the
+				// responder only sees the resulting rounds.
+				fmt.Printf("[migd %s] session %d: live transfer: %d rounds, %d/%d sections shipped\n",
+					m.Name, info.ID, len(info.Live.Rounds), info.Live.TotalSent(), liveSections(info.Live))
+			}
 			if bd := p.SectionRestoreMetrics(); len(bd) > 0 {
 				fmt.Printf("[migd %s] session %d: sections restored:\n%s", m.Name, info.ID, bd)
 			}
@@ -335,9 +362,15 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 	}
 	p.Stdout = os.Stdout
 	p.MaxSteps = o.maxSteps
+	// The live driver resumes the source between delta rounds, so the
+	// first stop must leave the process resumable rather than captured.
+	p.NoAutoCapture = o.live
+	// >= rather than ==: the live driver resumes the source between delta
+	// rounds, and every poll after the N-th must pause again to bound the
+	// round. A stop-and-copy run only ever reaches the N-th.
 	var polls atomic.Int64
 	p.PollHook = func(*vm.Process, *minic.Site) bool {
-		return polls.Add(1) == int64(o.afterPolls)
+		return polls.Add(1) >= int64(o.afterPolls)
 	}
 	res, err := p.Run()
 	if err != nil {
@@ -356,7 +389,18 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 		os.Exit(1)
 	}
 	defer t.Close()
-	sres, err := session.Initiate(t, ne.engine, m, ne.name, p, o.sessionConfig())
+	var sres *session.Result
+	if o.live {
+		sres, err = session.InitiateLive(t, ne.engine, m, ne.name, p, o.sessionConfig())
+		if errors.Is(err, session.ErrSourceExited) {
+			// The program finished between delta rounds: nothing left to
+			// migrate. Not a failure — report it like a local completion.
+			fmt.Printf("[migd %s] process completed locally during pre-copy (no migration needed)\n", m.Name)
+			return
+		}
+	} else {
+		sres, err = session.Initiate(t, ne.engine, m, ne.name, p, o.sessionConfig())
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd: migration failed:", err)
 		os.Exit(1)
@@ -373,9 +417,24 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 	if sres.Warm != nil {
 		how = fmt.Sprintf("warm v%d, %s", prm.Version, sres.Warm)
 	}
+	if sres.Live != nil {
+		how = fmt.Sprintf("live v%d, %d rounds, %d/%d sections shipped, downtime %.4fs (%s)",
+			prm.Version, len(sres.Live.Rounds), sres.Live.TotalSent(), liveSections(sres.Live),
+			sres.Live.Downtime.Seconds(), sres.Live.StopReason)
+	}
 	fmt.Printf("[migd %s] migrated %d bytes (%s; collect %.4fs, tx %.4fs); terminating\n",
 		m.Name, sres.Timing.Bytes, how, sres.Timing.Collect.Seconds(), sres.Timing.Tx.Seconds())
 	if bd := p.SectionCaptureMetrics(); len(bd) > 0 {
 		fmt.Printf("[migd %s] sections collected:\n%s", m.Name, bd)
 	}
+}
+
+// liveSections totals the section instances across every live round — the
+// denominator the dedup'd "shipped" count is reported against.
+func liveSections(st *session.LiveStats) int {
+	n := 0
+	for _, r := range st.Rounds {
+		n += r.Sections
+	}
+	return n
 }

@@ -1,0 +1,207 @@
+package collect
+
+// Delta capture for live pre-copy migration (envelope version 4).
+//
+// A pre-copy round re-partitions the live set from scratch — allocation
+// and pointer mutation can merge, split, create, or drop heap components
+// between rounds — but re-encodes only the sections whose bytes can have
+// changed. The decision is made per section against the memory layer's
+// dirty-block set:
+//
+//   - a section is CLEAN when its membership signature (the ordered list
+//     of member block identities and shapes, plus the live-variable
+//     addresses for frame/globals sections) matches the previous round's
+//     and none of its members' address ranges intersect the dirty set;
+//   - a clean section's cached body from the previous round is reused
+//     byte-for-byte, skipping the encoder entirely;
+//   - everything else is re-encoded on the same bounded worker pool as a
+//     full sectioned capture.
+//
+// Reuse is sound because a section body is a pure function of its
+// members' shapes, their memory bytes, and the resolution of the pointer
+// values stored in those bytes. The first two are covered by the
+// signature and the dirty check. Pointer resolution is stable under
+// clean bytes: a live, non-dangling pointer's target block cannot have
+// been freed (the program would have had to overwrite the pointer —
+// dirtying the section — before the block could die), and block
+// identities are never reused. A program that keeps a live dangling
+// pointer is already outside the collector's contract.
+//
+// Section keys survive renumbering: a heap component is keyed by its
+// first-visited member's block identity, not its component index, so
+// components keep their cache entries as unrelated components appear and
+// disappear around them.
+
+import (
+	"time"
+
+	"repro/internal/memory"
+	"repro/internal/msr"
+	"repro/internal/types"
+)
+
+// DirtyFunc reports whether any byte of [addr, addr+n) was written since
+// the watermark the caller tracks — typically a closure over
+// memory.Space.RangeDirtySince.
+type DirtyFunc func(addr memory.Address, n int) bool
+
+// deltaKey identifies a section across rounds independently of its
+// position in the partition.
+type deltaKey struct {
+	class uint8  // 0 = heap component, 1 = frame, 2 = globals
+	id    uint32 // first member's Major for heap, frame depth for frames
+}
+
+// cachedSection is one section's state from the previous round.
+type cachedSection struct {
+	sig  uint64
+	body []byte // tracker-owned; never aliases a pooled encoder
+}
+
+// DeltaTracker carries the per-section cache from round to round. One
+// tracker serves one process's pre-copy sequence; the zero value is not
+// usable — call NewDeltaTracker.
+type DeltaTracker struct {
+	prev map[deltaKey]*cachedSection
+}
+
+// NewDeltaTracker returns an empty tracker: the first round re-encodes
+// everything (the full-image round of the pre-copy loop).
+func NewDeltaTracker() *DeltaTracker {
+	return &DeltaTracker{prev: make(map[deltaKey]*cachedSection)}
+}
+
+// DeltaSection is one section of a delta round. Body is owned by the
+// tracker and stays valid across subsequent rounds (the pre-copy sender
+// may still be shipping it while the next round encodes), but must not
+// be mutated.
+type DeltaSection struct {
+	Body []byte
+	// Reused reports the body was carried over from the previous round
+	// without re-encoding.
+	Reused  bool
+	Elapsed time.Duration
+}
+
+// DeltaState is one delta round's sections in the partition's
+// deterministic order, mirroring SectionedState. Unlike SectionedState
+// it has no Release: every body is tracker-owned.
+type DeltaState struct {
+	Heap    []DeltaSection
+	Frames  []DeltaSection
+	Globals DeltaSection
+	// Stats aggregates the encoded (non-reused) sections only.
+	Stats   SaveStats
+	Workers int
+	// Encoded and Reused count the sections that were re-encoded and
+	// carried over, respectively.
+	Encoded int
+	Reused  int
+}
+
+// EncodeDelta runs the encode phase of one pre-copy round: sections the
+// dirty set cannot have touched are reused from the tracker, the rest
+// are encoded on the worker pool. dirty answers "was this range written
+// since the last round"; a nil dirty treats everything as dirty. The
+// returned bodies are byte-identical to a full EncodeSections of the
+// same partition.
+func EncodeDelta(space *memory.Space, table *msr.Table, ti *types.TI, pt *Partition, roots Roots, dt *DeltaTracker, dirty DirtyFunc, workers int) (*DeltaState, error) {
+	jobs := partitionJobs(pt, roots)
+	mach := space.Machine()
+
+	keys := make([]deltaKey, len(jobs))
+	sigs := make([]uint64, len(jobs))
+	skip := make([]bool, len(jobs))
+	out := &DeltaState{}
+
+	h := len(pt.Components)
+	f := len(pt.Frames)
+	for idx, job := range jobs {
+		switch {
+		case idx < h:
+			keys[idx] = deltaKey{class: 0, id: job.blocks[0].ID.Major}
+		case idx < h+f:
+			keys[idx] = deltaKey{class: 1, id: uint32(idx-h) + 1}
+		default:
+			keys[idx] = deltaKey{class: 2}
+		}
+		sig := fnvInit()
+		for _, addr := range job.live {
+			sig = fnvMix(sig, uint64(addr))
+		}
+		clean := true
+		for _, b := range job.blocks {
+			tIdx, ok := ti.Index(b.Type)
+			if !ok {
+				clean = false // encodeBody will report the real error
+			}
+			sig = fnvMix(sig, uint64(b.ID.Seg))
+			sig = fnvMix(sig, uint64(b.ID.Major)<<32|uint64(b.ID.Minor))
+			sig = fnvMix(sig, uint64(tIdx)<<32|uint64(uint32(b.Count)))
+			if clean && dirty != nil && dirty(b.Addr, b.Count*b.Type.SizeOf(mach)) {
+				clean = false
+			}
+		}
+		sigs[idx] = sig
+		if prev, ok := dt.prev[keys[idx]]; ok && clean && dirty != nil && prev.sig == sig {
+			skip[idx] = true
+		}
+	}
+
+	results, encs, agg, engaged, err := encodeJobs(space, table, ti, jobs, skip, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold the round into the tracker: reused sections keep their cached
+	// bodies, fresh ones are cloned out of the pooled encoders so the
+	// cache owns every byte it hands back.
+	next := make(map[deltaKey]*cachedSection, len(jobs))
+	sections := make([]DeltaSection, len(jobs))
+	for idx := range jobs {
+		var cs *cachedSection
+		if skip[idx] {
+			cs = dt.prev[keys[idx]]
+			sections[idx] = DeltaSection{Body: cs.body, Reused: true}
+			out.Reused++
+		} else {
+			body := make([]byte, len(results[idx].Body))
+			copy(body, results[idx].Body)
+			cs = &cachedSection{sig: sigs[idx], body: body}
+			sections[idx] = DeltaSection{Body: body, Elapsed: results[idx].Elapsed}
+			out.Encoded++
+		}
+		next[keys[idx]] = cs
+	}
+	dt.prev = next
+	for _, e := range encs {
+		if e != nil {
+			e.Release()
+		}
+	}
+
+	out.Heap = sections[:h]
+	out.Frames = sections[h : h+f]
+	out.Globals = sections[h+f]
+	out.Stats = agg
+	out.Workers = engaged
+	return out, nil
+}
+
+// fnv-1a over 8-byte words, hand-rolled to keep the per-round signature
+// pass allocation-free.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvInit() uint64 { return fnvOffset }
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

@@ -313,6 +313,28 @@ type sectionJob struct {
 // serially on the calling goroutine. The bodies are identical regardless
 // of worker count.
 func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Partition, roots Roots, workers int) (*SectionedState, error) {
+	jobs := partitionJobs(pt, roots)
+	results, encs, agg, engaged, err := encodeJobs(space, table, ti, jobs, nil, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	h := len(pt.Components)
+	f := len(pt.Frames)
+	out := &SectionedState{
+		Heap:    results[:h],
+		Frames:  results[h : h+f],
+		Globals: results[h+f],
+		Stats:   agg,
+		Workers: engaged,
+		encs:    encs,
+	}
+	return out, nil
+}
+
+// partitionJobs lays a partition out as the encode job list, in the
+// deterministic section order: heap components, frames, globals.
+func partitionJobs(pt *Partition, roots Roots) []sectionJob {
 	jobs := make([]sectionJob, 0, len(pt.Components)+len(pt.Frames)+1)
 	for _, comp := range pt.Components {
 		jobs = append(jobs, sectionJob{blocks: comp})
@@ -321,7 +343,14 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 		jobs = append(jobs, sectionJob{blocks: blocks, live: roots.FrameLive[i], withLive: true})
 	}
 	jobs = append(jobs, sectionJob{blocks: pt.Globals, live: roots.Globals, withLive: true})
+	return jobs
+}
 
+// encodeJobs runs the bounded worker pool over the job list. A true
+// entry in skip (which may be nil) leaves that job's result and encoder
+// zero — the delta capture uses this to re-encode only the sections the
+// dirty set touched. On error every acquired encoder is released.
+func encodeJobs(space *memory.Space, table *msr.Table, ti *types.TI, jobs []sectionJob, skip []bool, workers int) ([]EncodedSection, []*xdr.Encoder, SaveStats, int, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -364,7 +393,7 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 		save := SaveStats{}
 		did := 0
 		for idx := worker; idx < len(jobs); idx += workers {
-			if failed() {
+			if failed() || (skip != nil && skip[idx]) {
 				continue
 			}
 			did++
@@ -422,20 +451,9 @@ func EncodeSections(space *memory.Space, table *msr.Table, ti *types.TI, pt *Par
 				e.Release()
 			}
 		}
-		return nil, firstErr
+		return nil, nil, SaveStats{}, 0, firstErr
 	}
-
-	h := len(pt.Components)
-	f := len(pt.Frames)
-	out := &SectionedState{
-		Heap:    results[:h],
-		Frames:  results[h : h+f],
-		Globals: results[h+f],
-		Stats:   agg,
-		Workers: engaged,
-		encs:    encs,
-	}
-	return out, nil
+	return results, encs, agg, engaged, nil
 }
 
 // sectionSizeHint estimates a body's encoded size from the machine-side

@@ -30,6 +30,16 @@ const (
 	// CRC-framed sections whose heap components are collected in
 	// parallel — carried over the same chunk layer as VersionStream.
 	VersionSectioned uint32 = 3
+	// VersionLive is the live pre-copy protocol: the process state crosses
+	// as a sequence of delta rounds (content-addressed section manifests
+	// plus only the bodies the receiver lacks) while the source keeps
+	// executing, and the final round assembles into a snapshot
+	// byte-identical to a VersionSectioned capture of the same paused
+	// state. Unlike the lower versions it is never offered in a version
+	// range: both sides negotiate versions 1..3 as usual and upgrade to 4
+	// only when each advertised the live capability bit, so every legacy
+	// handshake stays byte-identical.
+	VersionLive uint32 = 4
 )
 
 // envHeader is a decoded envelope header.

@@ -93,6 +93,10 @@ type Space struct {
 
 	alloc allocator
 
+	// dirty is the write-barrier state for live pre-copy migration; see
+	// dirty.go. Off by default, in which case the barrier is one branch.
+	dirty dirtyTracker
+
 	// Stats accumulates allocation activity for the overhead analysis
 	// of Section 4.3.
 	Stats SpaceStats
@@ -257,9 +261,11 @@ func (s *Space) ReadBytes(addr Address, n int) ([]byte, error) {
 	return out, nil
 }
 
-// WriteBytes copies p into the space at addr.
+// WriteBytes copies p into the space at addr. Bounds and segment
+// resolution are shared with every other mutation path through the
+// mutable choke point.
 func (s *Space) WriteBytes(addr Address, p []byte) error {
-	b, err := s.Bytes(addr, len(p))
+	b, err := s.mutable(addr, len(p))
 	if err != nil {
 		return err
 	}
@@ -269,7 +275,7 @@ func (s *Space) WriteBytes(addr Address, p []byte) error {
 
 // Zero clears n bytes at addr.
 func (s *Space) Zero(addr Address, n int) error {
-	b, err := s.Bytes(addr, n)
+	b, err := s.mutable(addr, n)
 	if err != nil {
 		return err
 	}
@@ -291,7 +297,7 @@ func (s *Space) LoadPrim(addr Address, k arch.PrimKind) (uint64, error) {
 
 // StorePrim stores a scalar of primitive kind k at addr.
 func (s *Space) StorePrim(addr Address, k arch.PrimKind, v uint64) error {
-	b, err := s.Bytes(addr, s.mach.SizeOf(k))
+	b, err := s.mutable(addr, s.mach.SizeOf(k))
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,9 @@ type Result struct {
 	// Warm is the dedup outcome of a warm (store-assisted) transfer; nil
 	// when the migration ran a cold path.
 	Warm *WarmStats
+	// Live is the per-round outcome of a live (pre-copy) transfer; nil
+	// when the migration ran a stop-and-copy path.
+	Live *LiveStats
 }
 
 // Initiate negotiates a migration session for the stopped process p over t
@@ -41,6 +44,31 @@ type Result struct {
 // name is diagnostics).
 func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program string, p *vm.Process, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	prm, tc, err := initiateHandshake(t, e, src, program, cfg)
+	if err != nil {
+		return nil, err
+	}
+	path, err := pathFor(prm)
+	if err != nil {
+		return nil, err
+	}
+	txStart := time.Now()
+	timing, err := path.Send(t, e, src, p, prm)
+	if err != nil {
+		cfg.Recorder.Record("session.fail", "transfer: %v", err)
+		return nil, err
+	}
+	timing.Collect = p.CaptureStats().Elapsed
+	cfg.observePhase("collect", timing.Collect)
+	cfg.observePhase("transport", time.Since(txStart))
+	return awaitRestored(t, cfg, prm, timing, tc)
+}
+
+// initiateHandshake mints the trace identity, sends the OFFER, and parses
+// the responder's answer into the Params both sides committed to. The
+// returned Params carry the local plumbing (trace, recorder, store,
+// warm/live results) the selected path needs.
+func initiateHandshake(t link.Transport, e *core.Engine, src *arch.Machine, program string, cfg Config) (Params, obs.TraceContext, error) {
 	// The initiator mints the migration's trace identity and offers it to
 	// the responder, which adopts the trace ID and parents its own span
 	// tree under our session span — one stitched tree per migration.
@@ -60,77 +88,84 @@ func Initiate(t link.Transport, e *core.Engine, src *arch.Machine, program strin
 	if cfg.Store != nil && cfg.MaxVersion >= core.VersionSectioned {
 		o.caps |= capWarm
 	}
+	if cfg.Live && cfg.MaxVersion >= core.VersionSectioned {
+		o.caps |= capLive
+	}
 	cfg.Recorder.Record("session.offer", "program %q digest %08x trace %s", program, o.digest, tc)
 	hsStart := time.Now()
 	hs := cfg.Trace.Child("handshake")
 	if err := t.Send(marshalOffer(o)); err != nil {
 		hs.End()
-		return nil, fmt.Errorf("session: offer send: %w", err)
+		return Params{}, tc, fmt.Errorf("session: offer send: %w", err)
 	}
 	raw, err := t.Recv()
 	if err != nil {
 		hs.End()
-		return nil, fmt.Errorf("session: handshake read: %w", err)
+		return Params{}, tc, fmt.Errorf("session: handshake read: %w", err)
 	}
 	m, err := parseMessage(raw)
 	hs.End()
 	cfg.observePhase("handshake", time.Since(hsStart))
 	if err != nil {
-		return nil, err
+		return Params{}, tc, err
 	}
 	switch m.typ {
 	case msgReject:
-		return nil, fmt.Errorf("%w: %s", ErrRejected, m.reason)
+		return Params{}, tc, fmt.Errorf("%w: %s", ErrRejected, m.reason)
 	case msgAccept:
 	default:
-		return nil, fmt.Errorf("%w: expected ACCEPT or REJECT, got message type %d", ErrProtocol, m.typ)
+		return Params{}, tc, fmt.Errorf("%w: expected ACCEPT or REJECT, got message type %d", ErrProtocol, m.typ)
 	}
 	prm := m.params
 	prm.Trace = cfg.Trace
 	prm.Recorder = cfg.Recorder
-	// The responder echoes capWarm only when we advertised it, but guard
-	// on our own posture anyway: warm needs our store and the sectioned
-	// version.
-	prm.Warm = prm.Warm && cfg.Store != nil && prm.Version == core.VersionSectioned
+	// The responder echoes a capability only when we advertised it, but
+	// guard on our own posture anyway: warm needs our store and the
+	// sectioned version; live needs our opt-in and the upgraded version.
+	prm.Live = prm.Live && cfg.Live && prm.Version == core.VersionLive
+	if prm.Version == core.VersionLive && !prm.Live {
+		return Params{}, tc, fmt.Errorf("%w: responder selected version %d without the live capability",
+			ErrProtocol, prm.Version)
+	}
+	prm.Warm = prm.Warm && !prm.Live && cfg.Store != nil && prm.Version == core.VersionSectioned
 	if prm.Warm {
 		prm.Store = cfg.Store
 		prm.Program = program
 		prm.WarmResult = new(WarmStats)
 	}
+	if prm.Live {
+		prm.Store = cfg.Store // may be nil: the store only helps, it is not required
+		prm.Program = program
+		prm.LiveResult = new(LiveStats)
+	}
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
-	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d warm=%v", prm.Version, prm.ChunkSize, prm.Window, prm.Warm)
-	path, err := pathFor(prm)
-	if err != nil {
-		return nil, err
-	}
-	txStart := time.Now()
-	timing, err := path.Send(t, e, src, p, prm)
-	if err != nil {
-		cfg.Recorder.Record("session.fail", "transfer: %v", err)
-		return nil, err
-	}
-	timing.Collect = p.CaptureStats().Elapsed
-	cfg.observePhase("collect", timing.Collect)
-	cfg.observePhase("transport", time.Since(txStart))
-	// Only terminate the source once the destination holds a restored,
-	// runnable process.
+	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d warm=%v live=%v",
+		prm.Version, prm.ChunkSize, prm.Window, prm.Warm, prm.Live)
+	return prm, tc, nil
+}
+
+// awaitRestored blocks for the responder's RESTORED confirmation and
+// assembles the migration's Result. Only after it returns may the source
+// process terminate: the destination provably holds a restored, runnable
+// process.
+func awaitRestored(t link.Transport, cfg Config, prm Params, timing core.Timing, tc obs.TraceContext) (*Result, error) {
 	confirmStart := time.Now()
 	confirm := cfg.Trace.Child("confirm")
-	raw, err = t.Recv()
+	raw, err := t.Recv()
 	confirm.End()
 	cfg.observePhase("confirm", time.Since(confirmStart))
 	if err != nil {
 		cfg.Recorder.Record("session.fail", "confirm read: %v", err)
 		return nil, fmt.Errorf("session: restoration confirm read: %w", err)
 	}
-	m, err = parseMessage(raw)
+	m, err := parseMessage(raw)
 	if err != nil {
 		return nil, err
 	}
 	if m.typ != msgRestored {
 		return nil, fmt.Errorf("%w: expected RESTORED, got message type %d", ErrProtocol, m.typ)
 	}
-	res := &Result{Params: prm, Timing: timing, Trace: tc, Warm: prm.WarmResult}
+	res := &Result{Params: prm, Timing: timing, Trace: tc, Warm: prm.WarmResult, Live: prm.LiveResult}
 	if len(m.spans) > 0 {
 		// The responder shipped its exported span tree: graft it under our
 		// session span so one render shows the whole migration.

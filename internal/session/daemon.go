@@ -79,6 +79,9 @@ type Info struct {
 	// Warm is the dedup outcome of a warm (store-assisted) transfer; nil
 	// when the session ran a cold path.
 	Warm *WarmStats
+	// Live is the per-round outcome of a live (pre-copy) transfer; nil
+	// when the session ran a stop-and-copy path.
+	Live *LiveStats
 }
 
 // Respond serves exactly one inbound migration session on t: it reads the
@@ -130,9 +133,20 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	}
 	prm.Trace = cfg.Trace
 	prm.Recorder = cfg.Recorder
+	// Live transfer upgrades a sectioned agreement to version 4 when the
+	// initiator advertised capLive and this side opted in; the echoed
+	// ACCEPT capability (and version) commits to it. It subsumes warm —
+	// the delta rounds already resolve bodies against the local store.
+	prm.Live = o.caps&capLive != 0 && cfg.Live && prm.Version == core.VersionSectioned
+	if prm.Live {
+		prm.Version = core.VersionLive
+		prm.Store = cfg.Store // may be nil: the store only helps, it is not required
+		prm.Program = name
+		prm.LiveResult = new(LiveStats)
+	}
 	// Warm transfer needs the sectioned version, the initiator's capWarm,
 	// and a store on this side; the echoed ACCEPT capability commits to it.
-	prm.Warm = o.caps&capWarm != 0 && cfg.Store != nil && prm.Version == core.VersionSectioned
+	prm.Warm = !prm.Live && o.caps&capWarm != 0 && cfg.Store != nil && prm.Version == core.VersionSectioned
 	if prm.Warm {
 		prm.Store = cfg.Store
 		prm.Program = name
@@ -140,8 +154,9 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	}
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
 	cfg.Trace.SetAttr("program", name)
-	info := Info{Program: name, SrcMachine: o.machine, Params: prm, Trace: tc, Warm: prm.WarmResult}
-	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d warm=%v", name, prm.Version, prm.ChunkSize, prm.Window, prm.Warm)
+	info := Info{Program: name, SrcMachine: o.machine, Params: prm, Trace: tc, Warm: prm.WarmResult, Live: prm.LiveResult}
+	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d warm=%v live=%v",
+		name, prm.Version, prm.ChunkSize, prm.Window, prm.Warm, prm.Live)
 	err = t.Send(marshalAccept(prm))
 	hs.End()
 	cfg.observePhase("handshake", time.Since(hsStart))

@@ -44,8 +44,18 @@ func FuzzHandshake(f *testing.F) {
 	warm := traced
 	warm.caps = capWarm
 	f.Add(marshalOffer(warm))
+	live := traced
+	live.caps = capLive
+	f.Add(marshalOffer(live))
+	both := traced
+	both.caps = capWarm | capLive
+	f.Add(marshalOffer(both))
 	f.Add(marshalAccept(Params{Version: 2, ChunkSize: 65536, Window: 16}))
 	f.Add(marshalAccept(Params{Version: 3, ChunkSize: 65536, Window: 16, Warm: true}))
+	f.Add(marshalAccept(Params{Version: 4, ChunkSize: 65536, Window: 16, Live: true}))
+	// A DELTA frame: parseMessage only speaks handshake messages, so this
+	// must be rejected as a protocol violation, never crash the parser.
+	f.Add(marshalDelta(1, liveFinal, 12, nil))
 	f.Add(marshalReject("session: no common protocol version"))
 	f.Add(marshalRestored(1<<20, nil))
 	f.Add(marshalRestored(1<<20, []byte(`{"name":"session","dur_us":42}`)))
@@ -94,7 +104,8 @@ func FuzzHandshake(f *testing.F) {
 			t.Fatalf("re-marshal spans differ: %q vs %q", m2.spans, m.spans)
 		}
 		if m2.params.Version != m.params.Version || m2.params.ChunkSize != m.params.ChunkSize ||
-			m2.params.Window != m.params.Window || m2.params.Warm != m.params.Warm {
+			m2.params.Window != m.params.Window || m2.params.Warm != m.params.Warm ||
+			m2.params.Live != m.params.Live {
 			t.Fatalf("re-marshal params differ: %+v vs %+v", m2.params, m.params)
 		}
 	})

@@ -1,0 +1,583 @@
+package session
+
+// The live pre-copy transfer path (envelope version 4).
+//
+// A stop-and-copy migration pays capture + wire + restore as downtime.
+// The live path instead overlaps almost all of that with execution:
+//
+//	round 0     full image ships while the source executes to its next
+//	            poll point
+//	round 1..N  only the sections the dirty set touched re-encode; each
+//	            round ships while the source runs on
+//	final       the source stays paused; the last (small) delta is all
+//	            the downtime window has to move
+//
+// Each round is one DELTA/WANT/BODIES exchange: the DELTA manifest lists
+// every section of the paused state as (kind, id, sha256); the responder
+// answers WANT with the indices whose bodies it cannot resolve from the
+// session's earlier rounds or from its checkpoint store; one BODIES frame
+// carries exactly those. The final round's manifest therefore assembles —
+// from cached and freshly received bodies — into a v3 snapshot
+// byte-identical to a stop-and-copy sectioned capture of the same paused
+// state, and restoration is the ordinary sectioned restore.
+//
+// The loop converges (or is cut off) on the source: the next round is
+// final once the unshipped dirty set drops to Config.DirtyThreshold
+// blocks, Config.PrecopyRounds deltas have shipped, or the dirty set
+// stops shrinking (a write rate the link cannot outrun — more rounds
+// would burn bandwidth without buying downtime). In the worst case the
+// transfer degrades to a full copy plus one delta round, never worse.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/snapshot"
+	"repro/internal/store"
+	"repro/internal/vm"
+	"repro/internal/xdr"
+)
+
+// liveFinal flags a DELTA manifest as the final round: the source is
+// paused for good, and the responder restores once the round completes.
+const liveFinal uint32 = 1 << 0
+
+// maxLiveSections bounds a DELTA manifest's section count; real states
+// have tens of sections, so anything near the cap is a malformed frame,
+// rejected before it sizes an allocation.
+const maxLiveSections = 1 << 20
+
+// LiveRoundStats describes one pre-copy round as seen by either side.
+type LiveRoundStats struct {
+	// Round numbers the rounds from 0 (the full image).
+	Round int
+	// DirtyBlocks is the dirty-set size the source observed entering the
+	// round (0 for round 0).
+	DirtyBlocks int
+	// Sections is the manifest length; SectionsSent of them had bodies
+	// the responder could not resolve and crossed the wire.
+	Sections     int
+	SectionsSent int
+	// Bytes is the wire size of the round's sent frames (manifest plus
+	// bodies on the source, want on the responder side is excluded —
+	// matching the warm path's accounting).
+	Bytes int
+	// Final marks the round the source stayed paused for.
+	Final bool
+}
+
+// LiveStats is the outcome of one live transfer.
+type LiveStats struct {
+	// Rounds holds one entry per pre-copy round, in order.
+	Rounds []LiveRoundStats
+	// SnapshotBytes is the assembled final snapshot's size — what a
+	// stop-and-copy transfer of the paused state would have carried in
+	// section bodies alone; WireBytes is the cumulative wire size of
+	// every round.
+	SnapshotBytes int
+	WireBytes     int
+	// Downtime is the source-measured window from the final pause to the
+	// responder's RESTORED confirmation (zero on the responder side).
+	Downtime time.Duration
+	// StopReason records why the loop ended: "threshold" (dirty set at or
+	// below the configured floor), "rounds" (round budget spent), or
+	// "stalled" (dirty set stopped shrinking).
+	StopReason string
+}
+
+// TotalSent sums the sections that crossed the wire over all rounds.
+func (s *LiveStats) TotalSent() int {
+	n := 0
+	for _, r := range s.Rounds {
+		n += r.SectionsSent
+	}
+	return n
+}
+
+// marshalDelta frames one round's section manifest.
+func marshalDelta(round uint32, flags uint32, dirtyBlocks int, secs []vm.LiveSection) []byte {
+	e := xdr.NewEncoder(24 + len(secs)*(8+store.HashSize))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgDelta)
+	e.PutUint32(round)
+	e.PutUint32(flags)
+	e.PutUint32(uint32(dirtyBlocks))
+	e.PutUint32(uint32(len(secs)))
+	for _, s := range secs {
+		e.PutUint32(uint32(s.Kind))
+		e.PutUint32(s.ID)
+		e.PutFixedOpaque(s.Hash[:])
+	}
+	return e.Bytes()
+}
+
+// marshalDeltaWant frames the responder's body request.
+func marshalDeltaWant(want []uint32) []byte {
+	e := xdr.NewEncoder(12 + 4*len(want))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgDeltaWant)
+	e.PutUint32(uint32(len(want)))
+	for _, i := range want {
+		e.PutUint32(i)
+	}
+	return e.Bytes()
+}
+
+// marshalDeltaBodies frames the wanted section bodies, each tagged with
+// its manifest index. Sized for one allocation like the warm path's
+// SECTIONS frame.
+func marshalDeltaBodies(indices []uint32, secs []vm.LiveSection) []byte {
+	n := 12
+	for _, idx := range indices {
+		n += 8 + (len(secs[idx].Body)+3)&^3
+	}
+	e := xdr.NewEncoder(n)
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgDeltaBodies)
+	e.PutUint32(uint32(len(indices)))
+	for _, idx := range indices {
+		e.PutUint32(idx)
+		e.PutOpaque(secs[idx].Body)
+	}
+	return e.Bytes()
+}
+
+// marshalLiveAbort frames the source's stand-down notice.
+func marshalLiveAbort(reason string) []byte {
+	e := xdr.NewEncoder(12 + len(reason))
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgLiveAbort)
+	e.PutString(reason)
+	return e.Bytes()
+}
+
+// recvLive reads one live-path frame and checks its type against want;
+// a LIVE_ABORT is surfaced as ErrLiveAborted wherever a round message was
+// expected.
+func recvLive(t link.Transport, want uint32) (*xdr.Decoder, int, error) {
+	raw, err := t.Recv()
+	if err != nil {
+		return nil, 0, fmt.Errorf("session: live transfer read: %w", err)
+	}
+	d := xdr.NewDecoder(raw)
+	magic, err := d.Uint32()
+	if err != nil || magic != sessionMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrProtocol)
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: missing type", ErrProtocol)
+	}
+	if typ == msgLiveAbort && want != msgLiveAbort {
+		reason, rerr := d.String()
+		if rerr != nil {
+			reason = "(unreadable reason)"
+		}
+		return nil, 0, fmt.Errorf("%w: %s", ErrLiveAborted, reason)
+	}
+	if typ != want {
+		return nil, 0, fmt.Errorf("%w: expected live message type %d, got %d", ErrProtocol, want, typ)
+	}
+	return d, len(raw), nil
+}
+
+// sendLiveRound runs the source half of one DELTA/WANT/BODIES exchange
+// and appends the round's accounting to st.
+func sendLiveRound(t link.Transport, r *vm.LiveRound, final bool, prm Params, st *LiveStats) error {
+	round := uint32(len(st.Rounds))
+	var flags uint32
+	if final {
+		flags |= liveFinal
+	}
+	deltaFrame := marshalDelta(round, flags, r.DirtyBlocks, r.Sections)
+	if err := t.Send(deltaFrame); err != nil {
+		return fmt.Errorf("session: delta send: %w", err)
+	}
+	d, _, err := recvLive(t, msgDeltaWant)
+	if err != nil {
+		return err
+	}
+	count, err := d.Uint32()
+	if err != nil || int(count) > len(r.Sections) {
+		return fmt.Errorf("%w: malformed delta WANT", ErrProtocol)
+	}
+	indices := make([]uint32, count)
+	for i := range indices {
+		idx, err := d.Uint32()
+		if err != nil || int(idx) >= len(r.Sections) {
+			return fmt.Errorf("%w: delta WANT index out of range", ErrProtocol)
+		}
+		indices[i] = idx
+	}
+	bodiesFrame := marshalDeltaBodies(indices, r.Sections)
+	if err := t.Send(bodiesFrame); err != nil {
+		return fmt.Errorf("session: delta bodies send: %w", err)
+	}
+	wire := len(deltaFrame) + len(bodiesFrame)
+	st.Rounds = append(st.Rounds, LiveRoundStats{
+		Round:        int(round),
+		DirtyBlocks:  r.DirtyBlocks,
+		Sections:     len(r.Sections),
+		SectionsSent: int(count),
+		Bytes:        wire,
+		Final:        final,
+	})
+	st.WireBytes += wire
+	prm.Recorder.Record("session.live", "round %d%s: dirty %d blocks, sent %d of %d sections (%d bytes on wire)",
+		round, finalTag(final), r.DirtyBlocks, count, len(r.Sections), wire)
+	return nil
+}
+
+func finalTag(final bool) string {
+	if final {
+		return " (final)"
+	}
+	return ""
+}
+
+// livePath is the negotiated-path adapter for version 4. Its Send is the
+// degenerate single-round drive for an already-paused process — correct,
+// byte-identical on the destination, but with nothing overlapped; the
+// real pre-copy loop lives in InitiateLive, which needs control of the
+// source's execution between rounds and so cannot sit behind the
+// path-agnostic Send signature. Receive is the full responder loop either
+// way: it serves however many rounds the source drives.
+type livePath struct{}
+
+func (livePath) Send(t link.Transport, e *core.Engine, src *arch.Machine, p *vm.Process, prm Params) (core.Timing, error) {
+	p.Obs = prm.Trace
+	lc := p.NewLiveCapture(0)
+	defer lc.Close()
+	r, err := lc.Round()
+	if err != nil {
+		return core.Timing{}, err
+	}
+	tx := prm.Trace.Child("transport")
+	defer tx.End()
+	txStart := time.Now()
+	st := prm.LiveResult
+	if st == nil {
+		st = new(LiveStats)
+	}
+	if err := sendLiveRound(t, r, true, prm, st); err != nil {
+		return core.Timing{}, err
+	}
+	st.SnapshotBytes = r.Bytes
+	st.StopReason = "threshold"
+	tx.SetBytes(int64(st.WireBytes))
+	return core.Timing{Tx: time.Since(txStart), Bytes: st.WireBytes}, nil
+}
+
+func (livePath) Receive(t link.Transport, e *core.Engine, mach *arch.Machine, prm Params) (*vm.Process, core.Timing, error) {
+	st := prm.LiveResult
+	if st == nil {
+		st = new(LiveStats)
+	}
+	// Bodies received (or resolved) in earlier rounds serve later
+	// manifests: a section whose hash the source re-announces unchanged
+	// never crosses the wire twice.
+	cache := make(map[store.Hash][]byte)
+	wire := 0
+	for {
+		d, n, err := recvLive(t, msgDelta)
+		if err != nil {
+			return nil, core.Timing{}, err
+		}
+		wire += n
+		var round, flags, dirty, count uint32
+		if round, err = d.Uint32(); err == nil {
+			if flags, err = d.Uint32(); err == nil {
+				if dirty, err = d.Uint32(); err == nil {
+					count, err = d.Uint32()
+				}
+			}
+		}
+		if err != nil || count > maxLiveSections {
+			return nil, core.Timing{}, fmt.Errorf("%w: malformed DELTA manifest", ErrProtocol)
+		}
+		type liveEntry struct {
+			kind uint32
+			id   uint32
+			hash store.Hash
+		}
+		entries := make([]liveEntry, count)
+		for i := range entries {
+			if entries[i].kind, err = d.Uint32(); err != nil {
+				return nil, core.Timing{}, fmt.Errorf("%w: truncated DELTA entry", ErrProtocol)
+			}
+			if entries[i].id, err = d.Uint32(); err != nil {
+				return nil, core.Timing{}, fmt.Errorf("%w: truncated DELTA entry", ErrProtocol)
+			}
+			h, err := d.FixedOpaque(store.HashSize)
+			if err != nil {
+				return nil, core.Timing{}, fmt.Errorf("%w: truncated DELTA entry", ErrProtocol)
+			}
+			copy(entries[i].hash[:], h)
+		}
+		// Resolve every hash we can locally — this session's earlier
+		// rounds first, then the checkpoint store (the warm-compose case:
+		// a component unchanged since the last stored checkpoint skips
+		// the wire even in round 0).
+		want := make([]uint32, 0, len(entries))
+		for i, en := range entries {
+			if _, ok := cache[en.hash]; ok {
+				continue
+			}
+			if prm.Store != nil && prm.Store.HasBlob(en.hash) {
+				body, err := prm.Store.GetBlob(en.hash)
+				if err == nil {
+					cache[en.hash] = body
+					continue
+				}
+			}
+			want = append(want, uint32(i))
+		}
+		if err := t.Send(marshalDeltaWant(want)); err != nil {
+			return nil, core.Timing{}, fmt.Errorf("session: delta want send: %w", err)
+		}
+		wanted := make(map[uint32]bool, len(want))
+		for _, i := range want {
+			wanted[i] = true
+		}
+		d, n, err = recvLive(t, msgDeltaBodies)
+		if err != nil {
+			return nil, core.Timing{}, err
+		}
+		wire += n
+		bcount, err := d.Uint32()
+		if err != nil || int(bcount) != len(want) {
+			return nil, core.Timing{}, fmt.Errorf("%w: BODIES carries %d sections, wanted %d", ErrProtocol, bcount, len(want))
+		}
+		for i := uint32(0); i < bcount; i++ {
+			idx, err := d.Uint32()
+			if err != nil || !wanted[idx] {
+				return nil, core.Timing{}, fmt.Errorf("%w: unexpected BODIES index", ErrProtocol)
+			}
+			delete(wanted, idx)
+			body, err := d.Opaque()
+			if err != nil {
+				return nil, core.Timing{}, fmt.Errorf("%w: truncated BODIES section", ErrProtocol)
+			}
+			// The manifest promised a body with this content address;
+			// verify before admitting it so a damaged round surfaces here,
+			// not at restore.
+			if store.HashBytes(body) != entries[idx].hash {
+				return nil, core.Timing{}, fmt.Errorf("%w: delta section %d body does not match its manifest hash",
+					store.ErrCorrupt, idx)
+			}
+			cache[entries[idx].hash] = body
+			if prm.Store != nil {
+				if _, _, err := prm.Store.PutBlob(body); err != nil {
+					return nil, core.Timing{}, err
+				}
+			}
+		}
+		final := flags&liveFinal != 0
+		st.Rounds = append(st.Rounds, LiveRoundStats{
+			Round:        int(round),
+			DirtyBlocks:  int(dirty),
+			Sections:     len(entries),
+			SectionsSent: len(want),
+			Bytes:        n, // the bodies frame dominates the responder's received volume
+			Final:        final,
+		})
+		prm.Recorder.Record("session.live", "round %d%s: dirty %d blocks, received %d of %d sections (%d bytes)",
+			round, finalTag(final), dirty, len(want), len(entries), n)
+		if !final {
+			continue
+		}
+		// The final manifest assembles into a v3 snapshot byte-identical
+		// to a stop-and-copy capture of the source's paused state.
+		secs := make([]snapshot.Section, len(entries))
+		for i, en := range entries {
+			secs[i] = snapshot.Section{Kind: snapshot.Kind(en.kind), ID: en.id, Body: cache[en.hash]}
+		}
+		snap := snapshot.Encode(secs)
+		st.SnapshotBytes = len(snap)
+		st.WireBytes = wire
+		restoreStart := time.Now()
+		p, err := vm.RestoreProcessObs(e.Prog, mach, snap, prm.Trace)
+		if err != nil {
+			return nil, core.Timing{}, err
+		}
+		return p, core.Timing{Restore: time.Since(restoreStart), Bytes: wire}, nil
+	}
+}
+
+// InitiateLive negotiates and drives a live pre-copy migration of p over
+// t. The process must be stopped at a poll point in NoAutoCapture mode
+// (vm.Process.NoAutoCapture with a PollHook that fired): between rounds
+// the driver resumes it, so execution overlaps every transfer except the
+// final round. Convergence follows cfg.PrecopyRounds and
+// cfg.DirtyThreshold; see the package comment for the loop.
+//
+// When the responder does not speak version 4 the migration silently
+// falls back to the best negotiated stop-and-copy path from the current
+// pause — same bytes on the destination, just without the overlap. If
+// the source process runs to completion between rounds there is nothing
+// left to migrate: the responder is told to stand down and ErrSourceExited
+// is returned alongside a Result carrying the rounds shipped so far.
+func InitiateLive(t link.Transport, e *core.Engine, src *arch.Machine, program string, p *vm.Process, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	cfg.Live = true
+	prm, tc, err := initiateHandshake(t, e, src, program, cfg)
+	if err != nil {
+		return nil, err
+	}
+	path, err := pathFor(prm)
+	if err != nil {
+		return nil, err
+	}
+	if !prm.Live {
+		// Legacy responder: plain stop-and-copy through whatever was
+		// negotiated, from the state the process is paused at now.
+		cfg.Recorder.Record("session.live", "responder speaks v%d without live; stop-and-copy fallback", prm.Version)
+		txStart := time.Now()
+		timing, err := path.Send(t, e, src, p, prm)
+		if err != nil {
+			cfg.Recorder.Record("session.fail", "transfer: %v", err)
+			return nil, err
+		}
+		timing.Collect = p.CaptureStats().Elapsed
+		cfg.observePhase("collect", timing.Collect)
+		cfg.observePhase("transport", time.Since(txStart))
+		return awaitRestored(t, cfg, prm, timing, tc)
+	}
+
+	p.Obs = prm.Trace
+	st := prm.LiveResult
+	reg := cfg.metrics()
+	tx := prm.Trace.Child("transport")
+	txStart := time.Now()
+	lc := p.NewLiveCapture(0)
+	defer lc.Close()
+
+	r, err := lc.Round()
+	if err != nil {
+		tx.End()
+		return nil, err
+	}
+	var stopTime time.Time
+	prevDirty := int(^uint(0) >> 1)
+	for {
+		// Ship the round while the source executes to its next poll; the
+		// sender goroutine touches only the round's immutable sections,
+		// never the process.
+		sendErr := make(chan error, 1)
+		go func(r *vm.LiveRound) { sendErr <- sendLiveRound(t, r, false, prm, st) }(r)
+		res, runErr := p.ResumeRun()
+		serr := <-sendErr
+		reg.Counter("session.precopy.rounds").Inc()
+		if len(st.Rounds) > 0 {
+			reg.Counter("session.precopy.bytes").Add(int64(st.Rounds[len(st.Rounds)-1].Bytes))
+		}
+		if serr != nil {
+			tx.End()
+			cfg.Recorder.Record("session.fail", "live round: %v", serr)
+			return nil, serr
+		}
+		if runErr != nil {
+			tx.End()
+			return nil, runErr
+		}
+		stopTime = time.Now()
+		if !res.Migrated {
+			// The source ran to completion between rounds: nothing left
+			// to migrate. Stand the responder down.
+			tx.End()
+			cfg.Recorder.Record("session.live", "source exited (code %d) after %d rounds; aborting", res.ExitCode, len(st.Rounds))
+			if err := t.Send(marshalLiveAbort(fmt.Sprintf("source ran to completion (exit %d)", res.ExitCode))); err != nil {
+				return nil, fmt.Errorf("session: live abort send: %w", err)
+			}
+			return &Result{Params: prm, Trace: tc, Live: st}, ErrSourceExited
+		}
+		dirty := lc.DirtyBlocks()
+		switch {
+		case dirty <= cfg.DirtyThreshold:
+			st.StopReason = "threshold"
+		case lc.Rounds() > cfg.PrecopyRounds:
+			st.StopReason = "rounds"
+		case dirty >= prevDirty:
+			st.StopReason = "stalled"
+		}
+		prevDirty = dirty
+		if st.StopReason != "" {
+			break
+		}
+		if r, err = lc.Round(); err != nil {
+			tx.End()
+			return nil, err
+		}
+	}
+
+	// Final round: the source stays paused; downtime runs from the pause
+	// that ended the loop to the responder's RESTORED.
+	final, err := lc.Round()
+	if err != nil {
+		tx.End()
+		return nil, err
+	}
+	if err := sendLiveRound(t, final, true, prm, st); err != nil {
+		tx.End()
+		cfg.Recorder.Record("session.fail", "live final round: %v", err)
+		return nil, err
+	}
+	reg.Counter("session.precopy.rounds").Inc()
+	reg.Counter("session.precopy.bytes").Add(int64(st.Rounds[len(st.Rounds)-1].Bytes))
+	st.SnapshotBytes = final.Bytes
+	tx.SetBytes(int64(st.WireBytes))
+	tx.End()
+	cfg.observePhase("transport", time.Since(txStart))
+	timing := core.Timing{Tx: time.Since(txStart), Bytes: st.WireBytes}
+	result, err := awaitRestored(t, cfg, prm, timing, tc)
+	if err != nil {
+		return nil, err
+	}
+	st.Downtime = time.Since(stopTime)
+	reg.Histogram("session.downtime").Observe(st.Downtime)
+	cfg.Recorder.Record("session.live", "downtime %v over %d rounds (%s); %d of %d bytes on wire",
+		st.Downtime, len(st.Rounds), st.StopReason, st.WireBytes, st.SnapshotBytes)
+	return result, nil
+}
+
+// TransferLive migrates the running process p to dst over an in-memory
+// pipe with the live pre-copy protocol end to end — the live counterpart
+// of Transfer. p must be stopped at a poll point in NoAutoCapture mode;
+// it resumes between rounds. Returns the restored process, the full
+// Result (including LiveStats), and the merged timing.
+func TransferLive(e *core.Engine, program string, p *vm.Process, dst *arch.Machine, cfg Config) (*vm.Process, *Result, core.Timing, error) {
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cfg.Live = true
+	reg := NewRegistry()
+	reg.Add(program, e)
+	type respondRes struct {
+		q   *vm.Process
+		t   core.Timing
+		err error
+	}
+	c := make(chan respondRes, 1)
+	go func() {
+		_, q, tim, err := Respond(b, reg, dst, cfg)
+		c <- respondRes{q, tim, err}
+	}()
+	res, err := InitiateLive(a, e, p.Mach, program, p, cfg)
+	if err != nil {
+		a.Close()
+		b.Close()
+	}
+	rr := <-c
+	if err != nil {
+		return nil, res, core.Timing{}, err
+	}
+	if rr.err != nil {
+		return nil, res, core.Timing{}, rr.err
+	}
+	timing := res.Timing
+	timing.Restore = rr.t.Restore
+	return rr.q, res, timing, nil
+}

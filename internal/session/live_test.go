@@ -1,0 +1,272 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/minic"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// newMutatingEngine compiles the mutating-shards workload: nlists
+// independent heap lists, one mutated per poll round. Exit 0 proves every
+// mutation survived.
+func newMutatingEngine(t *testing.T, rounds int) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(workload.MutatingShardsSource(4, 20, rounds), minic.PollPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// stoppedLive runs the program on m to its first poll in NoAutoCapture
+// mode — paused but still resumable, the state InitiateLive requires.
+func stoppedLive(t *testing.T, e *core.Engine, m *arch.Machine) *vm.Process {
+	t.Helper()
+	p, err := e.NewProcess(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxSteps = 50_000_000
+	p.NoAutoCapture = true
+	p.PollHook = func(_ *vm.Process, _ *minic.Site) bool { return true }
+	res, err := p.Run()
+	if err != nil || !res.Migrated {
+		t.Fatalf("setup: migrated=%v err=%v", res != nil && res.Migrated, err)
+	}
+	return p
+}
+
+// TestTransferLiveMatrix drives the live pre-copy protocol across the
+// same five endianness/word-size pairs as TestTransferMatrix. After the
+// transfer the source is still paused at its final round, so the restored
+// process must re-collect to the byte-identical machine-independent state
+// a stop-and-copy capture of that paused source produces — the v4
+// correctness contract — and then run to completion.
+func TestTransferLiveMatrix(t *testing.T) {
+	pairs := []struct {
+		src, dst *arch.Machine
+	}{
+		{arch.DEC5000, arch.SPARC20}, // LE ILP32 -> BE ILP32
+		{arch.SPARC20, arch.AMD64},   // BE ILP32 -> LE LP64
+		{arch.AMD64, arch.SPARCV9},   // LE LP64  -> BE LP64
+		{arch.SPARCV9, arch.DEC5000}, // BE LP64  -> LE ILP32
+		{arch.I386, arch.Alpha},      // LE ILP32 (packed doubles) -> LE LP64
+	}
+	for _, pr := range pairs {
+		pr := pr
+		t.Run(fmt.Sprintf("v4/%s_to_%s", pr.src.Name, pr.dst.Name), func(t *testing.T) {
+			t.Parallel()
+			e := newMutatingEngine(t, 8)
+			p := stoppedLive(t, e, pr.src)
+			// DirtyThreshold 1 keeps the loop iterating until the dirty
+			// set stalls, so several delta rounds actually run.
+			q, res, timing, err := TransferLive(e, "shards", p, pr.dst,
+				Config{ChunkSize: 4096, Window: 8, PrecopyRounds: 3, DirtyThreshold: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Params.Version != core.VersionLive || !res.Params.Live {
+				t.Fatalf("negotiated v%d live=%v, want v%d live", res.Params.Version, res.Params.Live, core.VersionLive)
+			}
+			st := res.Live
+			if st == nil || len(st.Rounds) < 2 {
+				t.Fatalf("live stats %+v, want at least round 0 + final", st)
+			}
+			if !st.Rounds[len(st.Rounds)-1].Final || st.Rounds[0].Final {
+				t.Fatalf("final flags wrong across rounds: %+v", st.Rounds)
+			}
+			if st.Downtime <= 0 {
+				t.Error("no downtime measured")
+			}
+			if st.StopReason == "" {
+				t.Error("no stop reason recorded")
+			}
+			// Dedup must engage: later rounds re-ship only dirty sections.
+			total := 0
+			for _, r := range st.Rounds {
+				total += r.Sections
+			}
+			if st.TotalSent() >= total {
+				t.Errorf("sent %d of %d section instances; delta rounds reused nothing", st.TotalSent(), total)
+			}
+			if timing.Bytes == 0 || timing.Restore <= 0 {
+				t.Errorf("timing %+v, want bytes and restore recorded", timing)
+			}
+			// The source is still paused at the final round's site; the
+			// restored process must re-collect byte-identically.
+			direct, err := p.CaptureSections(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := q.CaptureSections(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(re, direct) {
+				t.Errorf("restored state on %s differs from stop-and-copy capture of the paused source (%d vs %d bytes)",
+					pr.dst.Name, len(re), len(direct))
+			}
+			q.MaxSteps = 50_000_000
+			r, err := q.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Migrated || r.ExitCode != 0 {
+				t.Errorf("restored run = %+v, want exit 0 (all mutations intact)", r)
+			}
+		})
+	}
+}
+
+// TestLiveFallbackToLegacyResponder pins the compatibility contract: an
+// InitiateLive against a responder that does not speak v4 degrades to the
+// ordinary negotiated stop-and-copy transfer with byte-identical wire
+// volume, and reports no live stats.
+func TestLiveFallbackToLegacyResponder(t *testing.T) {
+	e := newMutatingEngine(t, 8)
+
+	// Baseline: a pure-legacy sectioned transfer of the same paused state.
+	legacyP := stoppedLive(t, e, arch.DEC5000)
+	_, legacyTiming, err := Transfer(e, "shards", legacyP, arch.SPARC20,
+		Config{ChunkSize: 4096, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := stoppedLive(t, e, arch.DEC5000)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("shards", e)
+	type rr struct {
+		info Info
+		q    *vm.Process
+		err  error
+	}
+	c := make(chan rr, 1)
+	go func() {
+		// Responder without Live: negotiates plain sectioned.
+		info, q, _, err := Respond(b, reg, arch.SPARC20, Config{ChunkSize: 4096, Window: 8})
+		c <- rr{info, q, err}
+	}()
+	res, err := InitiateLive(a, e, p.Mach, "shards", p, Config{ChunkSize: 4096, Window: 8})
+	r := <-c
+	if err != nil || r.err != nil {
+		t.Fatalf("fallback transfer: initiate=%v respond=%v", err, r.err)
+	}
+	if res.Params.Version != core.VersionSectioned || res.Params.Live || res.Live != nil {
+		t.Fatalf("fallback negotiated %+v, want plain sectioned", res.Params)
+	}
+	if res.Timing.Bytes != legacyTiming.Bytes {
+		t.Errorf("fallback wired %d bytes, pure-legacy wired %d — must be identical",
+			res.Timing.Bytes, legacyTiming.Bytes)
+	}
+	runRestored(t, r.q, 0)
+}
+
+// TestLiveDegenerateSingleRound checks the Path-interface form: a plain
+// Transfer with Live on both sides runs one final round — no overlap, but
+// the same wire protocol and a correct restore.
+func TestLiveDegenerateSingleRound(t *testing.T) {
+	e := newListEngine(t)
+	p := stoppedAt(t, e, arch.AMD64)
+	q, timing, err := Transfer(e, "list", p, arch.SPARCV9,
+		Config{ChunkSize: 4096, Window: 8, Live: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Bytes == 0 {
+		t.Error("no bytes recorded")
+	}
+	runRestored(t, q, listExit)
+}
+
+// TestLiveSourceExited covers the abort: when the source runs to
+// completion between rounds there is nothing to migrate — the initiator
+// reports ErrSourceExited and the responder sees the abort notice.
+func TestLiveSourceExited(t *testing.T) {
+	e := newMutatingEngine(t, 1) // one poll: the resume after round 0 exits
+	p := stoppedLive(t, e, arch.AMD64)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("shards", e)
+	respErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := Respond(b, reg, arch.SPARC20, Config{Live: true})
+		respErr <- err
+	}()
+	res, err := InitiateLive(a, e, p.Mach, "shards", p, Config{Live: true})
+	if !errors.Is(err, ErrSourceExited) {
+		t.Fatalf("initiate err = %v, want ErrSourceExited", err)
+	}
+	if res == nil || res.Live == nil || len(res.Live.Rounds) == 0 {
+		t.Fatalf("no partial live stats returned: %+v", res)
+	}
+	if rerr := <-respErr; !errors.Is(rerr, ErrLiveAborted) {
+		t.Fatalf("responder err = %v, want ErrLiveAborted", rerr)
+	}
+}
+
+// TestLiveWarmCompose checks the store composition: with a destination
+// store already holding a checkpoint of the paused state, a live round 0
+// resolves the clean sections locally and ships only what changed since.
+func TestLiveWarmCompose(t *testing.T) {
+	e := newMutatingEngine(t, 8)
+	dstStore := openTestStore(t)
+
+	// Seed the destination store with a checkpoint of the first pause.
+	seed := stoppedLive(t, e, arch.DEC5000)
+	snap, err := seed.CaptureSections(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := dstStore.CheckpointRef("shards", snap, e.Digest(), arch.DEC5000.Name); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process paused at the same point migrates live; round 0's
+	// manifest must resolve every section from the seeded store.
+	p := stoppedLive(t, e, arch.DEC5000)
+	a, b := link.Pipe()
+	defer a.Close()
+	defer b.Close()
+	reg := NewRegistry()
+	reg.Add("shards", e)
+	type rr struct {
+		info Info
+		q    *vm.Process
+		err  error
+	}
+	c := make(chan rr, 1)
+	go func() {
+		info, q, _, err := Respond(b, reg, arch.SPARC20,
+			Config{Live: true, Store: dstStore, PrecopyRounds: 3, DirtyThreshold: 1})
+		c <- rr{info, q, err}
+	}()
+	res, err := InitiateLive(a, e, p.Mach, "shards", p,
+		Config{Live: true, PrecopyRounds: 3, DirtyThreshold: 1})
+	r := <-c
+	if err != nil || r.err != nil {
+		t.Fatalf("live transfer: initiate=%v respond=%v", err, r.err)
+	}
+	st := res.Live
+	if st == nil || len(st.Rounds) == 0 {
+		t.Fatal("no live stats")
+	}
+	if st.Rounds[0].SectionsSent != 0 {
+		t.Errorf("round 0 shipped %d of %d sections despite a warm destination store",
+			st.Rounds[0].SectionsSent, st.Rounds[0].Sections)
+	}
+	runRestored(t, r.q, 0)
+}

@@ -25,8 +25,14 @@ type Path interface {
 
 // pathFor maps a negotiated outcome to its Path. The warm store-assisted
 // path replaces the plain sectioned transfer when both sides agreed to it
-// during the handshake.
+// during the handshake, and the live pre-copy path carries version 4.
 func pathFor(prm Params) (Path, error) {
+	if prm.Live {
+		if prm.Version != core.VersionLive {
+			return nil, fmt.Errorf("%w: live transfer negotiated under version %d", ErrProtocol, prm.Version)
+		}
+		return livePath{}, nil
+	}
 	if prm.Warm {
 		if prm.Version != core.VersionSectioned || prm.Store == nil {
 			return nil, fmt.Errorf("%w: warm transfer without sectioned version and store", ErrProtocol)

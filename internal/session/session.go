@@ -46,9 +46,9 @@
 // Likewise RESTORED may carry the responder's exported span tree (JSON,
 // XDR-opaque-framed) after the byte count; old initiators stop reading
 // after bytes. traceID zero means "untraced". caps is a capability bitmap
-// (capWarm advertises a checkpoint store); a zero capability set is not
-// encoded at all, so a store-less peer's frames are byte-identical to the
-// pre-store protocol.
+// (capWarm advertises a checkpoint store, capLive the live pre-copy
+// path); a zero capability set is not encoded at all, so a peer without
+// capabilities emits frames byte-identical to the pre-extension protocol.
 //
 // Between ACCEPT and RESTORED the transport belongs to the selected Path:
 // one sealed envelope frame for version 1, the internal/stream protocol
@@ -59,6 +59,13 @@
 // responder replies WANT with the indices of section bodies its own store
 // lacks, and a single SECTIONS message carries only those bodies — an
 // unchanged process re-migrating transfers a manifest and nothing else.
+//
+// When both sides advertised capLive, a sectioned agreement upgrades to
+// version 4 and the live pre-copy path runs instead (live.go): the
+// initiator ships the full image while the process keeps executing, then
+// repeats DELTA/WANT/BODIES rounds carrying only the sections its dirty
+// set touched, and pauses the process only for the last small round —
+// bounding downtime by the final delta instead of the whole image.
 package session
 
 import (
@@ -86,6 +93,13 @@ const (
 	msgManifest
 	msgWant
 	msgSections
+	// Live pre-copy messages (one DELTA/WANT/BODIES exchange per round;
+	// only ever sent when both sides advertised capLive and version 4 was
+	// agreed).
+	msgDelta
+	msgDeltaWant
+	msgDeltaBodies
+	msgLiveAbort
 )
 
 // Capability bits, carried as an optional trailing u32 on OFFER and
@@ -98,6 +112,11 @@ const (
 	// path — manifest first, then only the section bodies the receiver's
 	// store lacks.
 	capWarm uint32 = 1 << 0
+	// capLive: this side can run the live pre-copy path (envelope version
+	// 4) — iterative delta rounds while the source executes, with a final
+	// paused round bounding downtime. Both sides advertising it upgrades a
+	// sectioned negotiation to core.VersionLive.
+	capLive uint32 = 1 << 1
 )
 
 // Errors reported by the session layer.
@@ -114,6 +133,14 @@ var (
 	// ErrUnknownProgram is the negotiation failure for a digest the
 	// responder's registry does not hold.
 	ErrUnknownProgram = errors.New("session: program not in registry")
+	// ErrLiveAborted is returned by the responder of a live session when
+	// the initiator abandoned the pre-copy loop (LIVE_ABORT); the wrapped
+	// message carries the initiator's reason.
+	ErrLiveAborted = errors.New("session: live migration aborted by initiator")
+	// ErrSourceExited is returned by InitiateLive when the source process
+	// ran to completion between pre-copy rounds — there is nothing left to
+	// migrate, and the responder was told to stand down.
+	ErrSourceExited = errors.New("session: source process exited before final round")
 )
 
 // Config is one side's negotiation posture.
@@ -148,6 +175,21 @@ type Config struct {
 	// destination's store lacks. Nil keeps the handshake byte-identical
 	// to the pre-store protocol.
 	Store *store.Store
+	// Live enables the pre-copy path: the handshake advertises capLive,
+	// and when both sides do, a sectioned negotiation upgrades to
+	// core.VersionLive. The initiator then drives delta rounds with
+	// InitiateLive (a plain Initiate sends one final round — correct, but
+	// with no overlap). False keeps every handshake frame byte-identical
+	// to the pre-live protocol.
+	Live bool
+	// PrecopyRounds bounds the delta rounds between the initial full copy
+	// and the final paused round. Zero selects 3. Source-side policy
+	// only; never crosses the wire.
+	PrecopyRounds int
+	// DirtyThreshold stops the pre-copy loop early: once the unshipped
+	// dirty set is at or below this many blocks, the next round is the
+	// final one. Zero selects 16 blocks. Source-side policy only.
+	DirtyThreshold int
 }
 
 // metrics resolves the registry the phase histograms observe into.
@@ -176,6 +218,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = 16
+	}
+	if c.PrecopyRounds <= 0 {
+		c.PrecopyRounds = 3
+	}
+	if c.DirtyThreshold <= 0 {
+		c.DirtyThreshold = 16
 	}
 	return c
 }
@@ -206,6 +254,14 @@ type Params struct {
 	// WarmResult, when non-nil, is filled by the warm path with the
 	// dedup outcome of the transfer.
 	WarmResult *WarmStats
+	// Live selects the pre-copy transfer path: both sides advertised
+	// capLive and the sectioned negotiation upgraded to core.VersionLive.
+	// Crosses the wire as the ACCEPT capability bit; everything below is
+	// local plumbing.
+	Live bool
+	// LiveResult, when non-nil, is filled by the live path with the
+	// per-round outcome of the transfer.
+	LiveResult *LiveStats
 }
 
 // offer is the decoded OFFER message.
@@ -284,9 +340,16 @@ func marshalAccept(p Params) []byte {
 	e.PutUint32(p.Version)
 	e.PutUint32(uint32(p.ChunkSize))
 	e.PutUint32(uint32(p.Window))
+	var caps uint32
 	if p.Warm {
+		caps |= capWarm
+	}
+	if p.Live {
+		caps |= capLive
+	}
+	if caps != 0 {
 		// Trailing and optional: legacy initiators stop after window.
-		e.PutUint32(capWarm)
+		e.PutUint32(caps)
 	}
 	return e.Bytes()
 }
@@ -344,6 +407,7 @@ func parseMessage(raw []byte) (message, error) {
 				break
 			}
 			m.params.Warm = caps&capWarm != 0
+			m.params.Live = caps&capLive != 0
 		}
 	case msgReject:
 		m.reason, err = d.String()

@@ -254,6 +254,30 @@ func TestHandshakeBytesWithoutStore(t *testing.T) {
 	if err != nil || parsed.offer.caps != capWarm {
 		t.Errorf("capWarm OFFER parse: caps %x err %v", parsed.offer.caps, err)
 	}
+
+	// Live rides the same trailing word: a live-capable offer is the
+	// legacy frame plus one capability field, and both bits coexist.
+	liveOffer := o
+	liveOffer.caps = capWarm | capLive
+	got = marshalOffer(liveOffer)
+	if len(got) != len(pre.Bytes())+4 || !bytes.Equal(got[:len(got)-4], pre.Bytes()) {
+		t.Error("capLive OFFER is not the legacy frame plus one trailing word")
+	}
+	parsed, err = parseMessage(got)
+	if err != nil || parsed.offer.caps != capWarm|capLive {
+		t.Errorf("capLive OFFER parse: caps %x err %v", parsed.offer.caps, err)
+	}
+
+	// A live ACCEPT is the legacy frame (with the upgraded version) plus
+	// the capability word; parsing recovers the Live flag.
+	liveAcc := marshalAccept(Params{Version: 4, ChunkSize: 4096, Window: 8, Live: true})
+	if len(liveAcc) != len(acc.Bytes())+4 {
+		t.Error("live ACCEPT is not the legacy frame plus one trailing word")
+	}
+	am, err := parseMessage(liveAcc)
+	if err != nil || !am.params.Live || am.params.Warm {
+		t.Errorf("live ACCEPT parse: params %+v err %v", am.params, err)
+	}
 }
 
 // corruptingTransport flips a body byte in every frame its predicate

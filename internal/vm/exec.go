@@ -165,6 +165,16 @@ func (p *Process) execStmt(f *Frame, s minic.Stmt) (ctrl, error) {
 		}
 		p.Stats.PollChecks++
 		if p.PollHook != nil && p.PollHook(p, st.Site) {
+			if p.NoAutoCapture {
+				// Stop at the site without capturing; the process stays
+				// live for delta captures and ResumeRun.
+				if p.trace != nil {
+					p.tracef("stopping at site %d", st.Site.ID)
+				}
+				p.lastSite = st.Site
+				p.migrated = nil
+				return ctrlMigrate, nil
+			}
 			if p.trace != nil {
 				p.tracef("migrating at site %d", st.Site.ID)
 			}

@@ -1,0 +1,206 @@
+package vm
+
+// Live pre-copy capture (the source side of envelope version 4).
+//
+// A stop-and-copy migration pays the whole capture+wire+restore time as
+// downtime. The pre-copy loop instead captures the process repeatedly
+// while it keeps running between poll points:
+//
+//	round 0   full sectioned capture, process resumes while it ships
+//	round k   delta capture — only the sections the dirty set touched
+//	          re-encode (collect.EncodeDelta); the process resumes
+//	final     process stays stopped; the last delta is the only state
+//	          the downtime window has to move
+//
+// A LiveCapture owns the per-process machinery: it turns the memory
+// layer's write barrier on, carries the collect.DeltaTracker from round
+// to round, and advances the dirty watermark after every capture. Each
+// round yields the full section list in the deterministic v3 order —
+// clean sections carry their cached bodies — plus a content hash per
+// section, so the transport can ship only bodies the destination lacks
+// and the destination can assemble a byte-identical v3 snapshot from
+// the final round's manifest.
+
+import (
+	"crypto/sha256"
+	"time"
+
+	"repro/internal/collect"
+	"repro/internal/memory"
+	"repro/internal/snapshot"
+	"repro/internal/xdr"
+)
+
+// LiveSection is one section of a pre-copy round: its snapshot framing
+// identity, the SHA-256 of its body, and the body itself. Bodies are
+// owned by the capture's delta tracker and stay valid across rounds
+// (the sender may still be shipping a round while the next one is
+// captured), but must not be mutated.
+type LiveSection struct {
+	Kind snapshot.Kind
+	ID   uint32
+	Hash [sha256.Size]byte
+	Body []byte
+	// Reused reports the body was carried over from the previous round
+	// without re-encoding (its hash was shipped before).
+	Reused bool
+}
+
+// LiveRound is one delta capture of the pre-copy loop.
+type LiveRound struct {
+	// Sections lists every section of the process state in the
+	// deterministic v3 snapshot order: exec, heap components, frames
+	// innermost-first, globals.
+	Sections []LiveSection
+	// DirtyBlocks is the size of the dirty set this round observed —
+	// the blocks written since the previous round's capture (0 for
+	// round 0, where everything is new).
+	DirtyBlocks int
+	// Encoded and Reused count re-encoded and carried-over sections.
+	Encoded, Reused int
+	// Bytes is the total body size of the round; FreshBytes counts only
+	// the re-encoded bodies (the upper bound on what must cross the
+	// wire).
+	Bytes, FreshBytes int
+	Elapsed           time.Duration
+}
+
+// LiveCapture drives the delta captures of one pre-copy migration. It
+// is bound to one stopped-and-resumable process (NoAutoCapture mode);
+// Close turns the write barrier back off.
+type LiveCapture struct {
+	p       *Process
+	dt      *collect.DeltaTracker
+	since   uint64 // dirty watermark: writes at or after this generation are unshipped
+	workers int
+	rounds  int
+}
+
+// NewLiveCapture prepares a process for pre-copy rounds: the write
+// barrier turns on (round 0 ships everything, so earlier writes need no
+// tracking) and the delta cache starts empty. workers bounds the
+// section-encoding pool exactly as in CaptureSections.
+func (p *Process) NewLiveCapture(workers int) *LiveCapture {
+	p.Space.StartDirtyTracking()
+	return &LiveCapture{p: p, dt: collect.NewDeltaTracker(), workers: workers}
+}
+
+// Close ends the pre-copy sequence, turning the write barrier off. The
+// process is unchanged otherwise; after a final round it remains
+// stopped at its site and can be captured or resumed like any stopped
+// process.
+func (lc *LiveCapture) Close() {
+	lc.p.Space.StopDirtyTracking()
+}
+
+// Rounds returns the number of rounds captured so far.
+func (lc *LiveCapture) Rounds() int { return lc.rounds }
+
+// DirtyBlocks returns the current size of the unshipped dirty set —
+// the blocks written since the last Round. The driver polls this
+// between rounds to decide whether the loop is converging.
+func (lc *LiveCapture) DirtyBlocks() int {
+	if lc.since == 0 {
+		return 0
+	}
+	return lc.p.Space.DirtySince(lc.since)
+}
+
+// Round captures one pre-copy round at the site the process is stopped
+// at. Round 0 encodes every section; later rounds re-encode only what
+// the dirty set touched and carry the rest over from the cache. The
+// concatenation of the returned sections (snapshot framing, manifest
+// order) is byte-identical to CaptureSections of the same stopped
+// state.
+func (lc *LiveCapture) Round() (*LiveRound, error) {
+	p := lc.p
+	start := time.Now()
+	site, err := p.stoppedSite()
+	if err != nil {
+		return nil, err
+	}
+	sites, err := p.captureSites(site)
+	if err != nil {
+		return nil, err
+	}
+	roots := p.liveRoots(sites)
+
+	dirtyBlocks := 0
+	var dirty collect.DirtyFunc
+	if lc.since > 0 {
+		dirtyBlocks = p.Space.DirtySince(lc.since)
+		since := lc.since
+		dirty = func(addr memory.Address, n int) bool {
+			return p.Space.RangeDirtySince(addr, n, since)
+		}
+	}
+	mDirtyBlocks.Set(int64(dirtyBlocks))
+
+	span := p.Obs.Child("collect")
+	span.SetAttr("format", "delta")
+	defer span.End()
+
+	pt, err := collect.BuildPartition(p.Space, p.Table, p.TI, roots)
+	if err != nil {
+		return nil, err
+	}
+	st, err := collect.EncodeDelta(p.Space, p.Table, p.TI, pt, roots, lc.dt, dirty, lc.workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// The exec section is tiny and site-dependent; encode it fresh every
+	// round.
+	execEnc := xdr.NewEncoder(64)
+	execEnc.PutUint32(uint32(len(p.frames)))
+	for i, f := range p.frames {
+		execEnc.PutString(f.Fn.Name)
+		execEnc.PutUint32(uint32(sites[i].ID))
+	}
+	execBody := execEnc.Bytes()
+
+	nframes := len(p.frames)
+	round := &LiveRound{
+		Sections:    make([]LiveSection, 0, 1+len(st.Heap)+nframes+1),
+		DirtyBlocks: dirtyBlocks,
+		Encoded:     st.Encoded + 1, // + exec
+		Reused:      st.Reused,
+	}
+	add := func(kind snapshot.Kind, id uint32, body []byte, reused bool) {
+		round.Sections = append(round.Sections, LiveSection{
+			Kind: kind, ID: id, Hash: sha256.Sum256(body), Body: body, Reused: reused,
+		})
+		round.Bytes += len(body)
+		if !reused {
+			round.FreshBytes += len(body)
+		}
+	}
+	add(snapshot.KindExec, 0, execBody, false)
+	for i, h := range st.Heap {
+		add(snapshot.KindHeap, uint32(i), h.Body, h.Reused)
+	}
+	for i := nframes - 1; i >= 0; i-- {
+		add(snapshot.KindFrame, uint32(i+1), st.Frames[i].Body, st.Frames[i].Reused)
+	}
+	add(snapshot.KindGlobals, 0, st.Globals.Body, st.Globals.Reused)
+
+	// Move the watermark: writes from here on belong to the next round.
+	lc.since = p.Space.AdvanceGeneration()
+	lc.rounds++
+	round.Elapsed = time.Since(start)
+	span.SetBytes(int64(round.FreshBytes))
+	return round, nil
+}
+
+// Snapshot assembles a round's sections into a complete v3 snapshot,
+// byte-identical to CaptureSections of the same stopped state. The
+// destination side of a live migration performs the equivalent assembly
+// from its received bodies; this form serves the source-side fallback
+// and tests.
+func (r *LiveRound) Snapshot() []byte {
+	secs := make([]snapshot.Section, len(r.Sections))
+	for i, s := range r.Sections {
+		secs[i] = snapshot.Section{Kind: s.Kind, ID: s.ID, Body: s.Body}
+	}
+	return snapshot.Encode(secs)
+}

@@ -1,0 +1,174 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/minic"
+	"repro/internal/workload"
+)
+
+// newMutatingProcess compiles the mutating-shards workload and stops the
+// process at its first poll in NoAutoCapture mode.
+func newMutatingProcess(t *testing.T, m *arch.Machine, rounds int) (*Process, *minic.Program) {
+	t.Helper()
+	prog, err := minic.Compile(workload.MutatingShardsSource(4, 30, rounds), minic.PollPolicy{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	p, err := NewProcess(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MaxSteps = 50_000_000
+	p.NoAutoCapture = true
+	p.PollHook = func(_ *Process, _ *minic.Site) bool { return true }
+	res, err := p.Run()
+	if err != nil {
+		t.Fatalf("run to first poll: %v", err)
+	}
+	if !res.Migrated || res.State != nil {
+		t.Fatalf("NoAutoCapture stop: Migrated=%v State=%v, want true/nil", res.Migrated, res.State)
+	}
+	return p, prog
+}
+
+// TestLiveRoundsByteIdenticalToStopAndCopy drives the pre-copy capture
+// across every poll of a mutating workload and checks the core delta
+// invariant: each round's assembled snapshot is byte-identical to a full
+// stop-and-copy sectioned capture of the same paused state, even though
+// most sections were carried over from the cache.
+func TestLiveRoundsByteIdenticalToStopAndCopy(t *testing.T) {
+	p, prog := newMutatingProcess(t, arch.Ultra5, 6)
+	lc := p.NewLiveCapture(1)
+	defer lc.Close()
+
+	totalReused := 0
+	var mid []byte
+	for round := 0; ; round++ {
+		r, err := lc.Round()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		direct, err := p.CaptureSections(1)
+		if err != nil {
+			t.Fatalf("round %d direct capture: %v", round, err)
+		}
+		if !bytes.Equal(r.Snapshot(), direct) {
+			t.Fatalf("round %d: assembled snapshot differs from stop-and-copy capture", round)
+		}
+		if round == 0 {
+			if r.Reused != 0 || r.DirtyBlocks != 0 {
+				t.Fatalf("round 0 reused %d sections, dirty %d; want 0/0", r.Reused, r.DirtyBlocks)
+			}
+		} else {
+			if r.DirtyBlocks == 0 {
+				t.Fatalf("round %d observed an empty dirty set despite mutations", round)
+			}
+			totalReused += r.Reused
+		}
+		if round == 3 {
+			mid = r.Snapshot()
+		}
+		res, err := p.ResumeRun()
+		if err != nil {
+			t.Fatalf("resume after round %d: %v", round, err)
+		}
+		if !res.Migrated {
+			if res.ExitCode != 0 {
+				t.Fatalf("source ran to exit %d, want 0", res.ExitCode)
+			}
+			break
+		}
+	}
+	if totalReused == 0 {
+		t.Fatal("no section was ever reused across rounds")
+	}
+
+	// A mid-sequence round restores like any v3 snapshot — on a machine
+	// with different byte order and widths — and runs to completion.
+	q, err := RestoreProcess(prog, arch.SPARC20, mid)
+	if err != nil {
+		t.Fatalf("restore mid-round snapshot: %v", err)
+	}
+	q.MaxSteps = 50_000_000
+	res, err := q.Run()
+	if err != nil {
+		t.Fatalf("run restored process: %v", err)
+	}
+	if res.Migrated || res.ExitCode != 0 {
+		t.Fatalf("restored process: migrated=%v exit=%d, want false/0", res.Migrated, res.ExitCode)
+	}
+}
+
+// TestLiveRoundReuseTracksDirtySet pins the selective re-encode: with 4
+// independent lists and one mutated per round, a steady-state round
+// re-encodes the touched component, the frame, and the globals, and
+// reuses the other three heap components.
+func TestLiveRoundReuseTracksDirtySet(t *testing.T) {
+	p, _ := newMutatingProcess(t, arch.Ultra5, 6)
+	lc := p.NewLiveCapture(1)
+	defer lc.Close()
+
+	if _, err := lc.Round(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		if res, err := p.ResumeRun(); err != nil || !res.Migrated {
+			t.Fatalf("resume: res=%+v err=%v", res, err)
+		}
+		r, err := lc.Round()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// 4 heap components; exactly one list was mutated between polls.
+		reusedHeap := 0
+		for _, s := range r.Sections {
+			if s.Kind.String() == "heap" && s.Reused {
+				reusedHeap++
+			}
+		}
+		if reusedHeap != 3 {
+			t.Fatalf("round %d reused %d heap components, want 3", round, reusedHeap)
+		}
+		if r.FreshBytes >= r.Bytes {
+			t.Fatalf("round %d fresh bytes %d not below total %d", round, r.FreshBytes, r.Bytes)
+		}
+	}
+}
+
+// TestResumeRunWithoutCapture checks the NoAutoCapture stop/resume cycle
+// leaves execution unperturbed: stopping at every poll and resuming each
+// time finishes with the same exit code as an uninterrupted run.
+func TestResumeRunWithoutCapture(t *testing.T) {
+	p, prog := newMutatingProcess(t, arch.Ultra5, 5)
+	stops := 1
+	for {
+		res, err := p.ResumeRun()
+		if err != nil {
+			t.Fatalf("resume %d: %v", stops, err)
+		}
+		if !res.Migrated {
+			if res.ExitCode != 0 {
+				t.Fatalf("exit %d after %d stops, want 0", res.ExitCode, stops)
+			}
+			break
+		}
+		stops++
+	}
+	if stops != 5 {
+		t.Fatalf("stopped %d times, want 5 (one per program round)", stops)
+	}
+
+	// The uninterrupted baseline.
+	q, err := NewProcess(prog, arch.Ultra5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.MaxSteps = 50_000_000
+	res, err := q.Run()
+	if err != nil || res.ExitCode != 0 {
+		t.Fatalf("baseline run: exit=%d err=%v", res.ExitCode, err)
+	}
+}

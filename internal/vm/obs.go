@@ -29,6 +29,9 @@ var (
 	// measured on its worker.
 	mRestorePar     = obs.Default.Gauge("vm.restore.parallelism")
 	mRestoreCompLat = obs.Default.Histogram("vm.restore.component.latency")
+	// Live pre-copy instrumentation: the dirty-set size each delta round
+	// observed when it started.
+	mDirtyBlocks = obs.Default.Gauge("vm.dirty.blocks")
 )
 
 // flushCapture publishes one completed capture's encoder counters. The

@@ -114,6 +114,15 @@ type Process struct {
 	// cannot migrate.
 	DisableMigration bool
 
+	// NoAutoCapture changes what a granted poll-point request does:
+	// instead of capturing the monolithic state and retiring the
+	// process, execution simply stops at the site (Result.Migrated true,
+	// State nil) and the process stays fully usable — it can be captured
+	// with any Capture variant, or continued with ResumeRun. The
+	// pre-copy driver uses this to stop at round boundaries without
+	// paying a capture it does not want.
+	NoAutoCapture bool
+
 	// Stdout receives printf output; defaults to io.Discard.
 	Stdout io.Writer
 
@@ -374,4 +383,23 @@ func (p *Process) runResume() (*Result, error) {
 	c, err := p.execResumeFrame(f)
 	p.resumeSites = nil
 	return p.finishRun(f, c, err)
+}
+
+// ResumeRun continues a process stopped at a poll point by a
+// NoAutoCapture hook: the frames fast-forward to their stop sites —
+// the same machinery a restored process resumes through, except the
+// memory image is already in place — and execution picks up after the
+// poll. It returns like Run: at completion, exit, or the next granted
+// poll request.
+func (p *Process) ResumeRun() (*Result, error) {
+	site, err := p.stoppedSite()
+	if err != nil {
+		return nil, err
+	}
+	sites, err := p.captureSites(site)
+	if err != nil {
+		return nil, err
+	}
+	p.resumeSites = sites
+	return p.runResume()
 }

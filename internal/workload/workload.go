@@ -660,3 +660,76 @@ int main() {
 }
 `, nlists, nnodes, rounds, nlists, nlists, nnodes, nlists, rounds, nlists, nlists, rounds, nnodes)
 }
+
+// WriteRateSource builds the E14 live-migration workload: nlists
+// independent lists of nnodes nodes (16 doubles each), then rounds
+// mutation rounds with a tunable write rate — round r adds 1.0 to every
+// payload double of k of the nlists lists (lists (r*k+m) % nlists for
+// m in 0..k-1) before reaching a migration point. Between two
+// consecutive polls a k/nlists fraction of the heap is dirty, which is
+// exactly the knob the pre-copy convergence sweep turns. The final
+// checksum verifies every mutation survived every migration:
+// sum == checksum + rounds * k * 16 * nnodes.
+func WriteRateSource(nlists, nnodes, k, rounds int) string {
+	return fmt.Sprintf(`
+/* write_rate: %d lists x %d nodes; %d rounds mutating %d lists each + poll. */
+
+struct node {
+	double pay[16];
+	struct node *next;
+};
+
+struct node *heads[%d];
+double checksum;
+
+int main() {
+	int i, j, k, m, r;
+	struct node *c;
+	double sum;
+
+	for (k = 0; k < %d; k++) {
+		heads[k] = 0;
+		for (i = 0; i < %d; i++) {
+			c = (struct node *) malloc(sizeof(struct node));
+			for (j = 0; j < 16; j++) {
+				c->pay[j] = k * 1000.0 + i + j * 0.5;
+			}
+			c->next = heads[k];
+			heads[k] = c;
+		}
+	}
+	sum = 0.0;
+	for (k = 0; k < %d; k++) {
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) sum += c->pay[j];
+			c = c->next;
+		}
+	}
+	checksum = sum;
+
+	for (r = 0; r < %d; r++) {
+		for (m = 0; m < %d; m++) {
+			k = (r * %d + m) %% %d;
+			c = heads[k];
+			while (c) {
+				for (j = 0; j < 16; j++) c->pay[j] = c->pay[j] + 1.0;
+				c = c->next;
+			}
+		}
+		migrate_here();
+	}
+
+	sum = 0.0;
+	for (k = 0; k < %d; k++) {
+		c = heads[k];
+		while (c) {
+			for (j = 0; j < 16; j++) sum += c->pay[j];
+			c = c->next;
+		}
+	}
+	if (sum != checksum + %d * %d * 16.0 * %d) return 1;
+	return 0;
+}
+`, nlists, nnodes, rounds, k, nlists, nlists, nnodes, nlists, rounds, k, k, nlists, nlists, rounds, k, nnodes)
+}

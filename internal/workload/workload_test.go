@@ -318,3 +318,32 @@ func TestJacobiMigratesMidConvergence(t *testing.T) {
 		}
 	}
 }
+
+// TestWriteRateSource checks the tunable-write-rate workload at both ends
+// of the knob: it compiles, polls once per round, and the checksum
+// invariant holds through an uninterrupted run.
+func TestWriteRateSource(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		prog, err := minic.Compile(WriteRateSource(4, 10, k, 3), minic.PollPolicy{})
+		if err != nil {
+			t.Fatalf("k=%d compile: %v", k, err)
+		}
+		p, err := vm.NewProcess(prog, arch.Ultra5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.MaxSteps = 10_000_000
+		polls := 0
+		p.PollHook = func(_ *vm.Process, _ *minic.Site) bool { polls++; return false }
+		res, err := p.Run()
+		if err != nil {
+			t.Fatalf("k=%d run: %v", k, err)
+		}
+		if res.ExitCode != 0 {
+			t.Errorf("k=%d exit %d, want 0 (checksum invariant)", k, res.ExitCode)
+		}
+		if polls != 3 {
+			t.Errorf("k=%d polled %d times, want one per round (3)", k, polls)
+		}
+	}
+}
