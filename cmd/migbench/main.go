@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store|hotpath|live]
+//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store|hotpath|live|chaos]
 //	         [-quick] [-repeats N] [-json] [-trace-dir DIR] [-store-dir DIR]
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store, hotpath, live")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store, hotpath, live, chaos")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
@@ -355,6 +355,22 @@ func main() {
 			if float64(r.DowntimeModeled) > 1.1*float64(r.StopTotalModeled) {
 				fmt.Printf("FAIL: write rate %.0f%%: modeled downtime %v exceeds stop-and-copy total %v\n\n",
 					r.WriteRate*100, r.DowntimeModeled, r.StopTotalModeled)
+				failed = true
+			}
+		}
+	}
+
+	if run("chaos") {
+		rows, err := exper.Chaos(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintChaos(os.Stdout, rows)
+		writeJSON("chaos", rows)
+		for _, r := range rows {
+			if !r.OK {
+				fmt.Printf("FAIL: chaos %s: %d cells with zero survivors, %d with two — every fault must leave exactly one live copy\n\n",
+					r.Mode, r.ZeroSurvivors, r.TwoSurvivors)
 				failed = true
 			}
 		}

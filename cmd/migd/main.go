@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/link"
 	"repro/internal/minic"
@@ -80,6 +81,7 @@ type options struct {
 	live           bool
 	precopyRounds  int
 	dirtyThreshold int
+	chaos          *chaos.Spec
 }
 
 // namedEngine pairs a compiled engine with its registry name (the program
@@ -137,6 +139,8 @@ func main() {
 	dirtyThreshold := fs.Int("dirty-threshold", 0, "live: pause for the final round once this few blocks are dirty (0 = default)")
 	restoreWorkers := fs.Int("restore-workers", 0,
 		"cap the parallel heap-section restore pool (0 = GOMAXPROCS; the restored image is identical at any setting)")
+	chaosSpec := fs.String("chaos", "",
+		"dev: inject a deterministic fault, \"victim@class:n/when\" (e.g. link@confirm/restored:1/after-recv) — kills that party at that protocol boundary to rehearse rollback-or-complete recovery")
 	fs.Parse(os.Args[2:])
 	vm.SetMaxRestoreWorkers(*restoreWorkers)
 
@@ -169,6 +173,14 @@ func main() {
 		}
 		opts.store = st
 	}
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migd:", err)
+			os.Exit(2)
+		}
+		opts.chaos = &spec
+	}
 	if mode == "serve" {
 		serve(engines, m, opts)
 	} else {
@@ -181,10 +193,11 @@ func usage() {
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
              [-pprof HOST:PORT] [-trace] [-trace-dir DIR] [-store DIR]
-             [-restore-workers N] [-live]
+             [-restore-workers N] [-live] [-chaos SPEC]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
              [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]
-             [-store DIR] [-live [-precopy-rounds N] [-dirty-threshold N]]`)
+             [-store DIR] [-live [-precopy-rounds N] [-dirty-threshold N]]
+             [-chaos SPEC]`)
 	os.Exit(2)
 }
 
@@ -332,12 +345,37 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		},
 	}
 
+	if o.chaos != nil {
+		// Every accepted session gets its own armed injector wrapping its
+		// transport, with the fault's boundary named in a shared flight
+		// recording printed at drain.
+		chaosRec := obs.NewFlightRecorder(0)
+		spec := *o.chaos
+		d.WrapTransport = func(t link.Transport) link.Transport {
+			inj := chaos.New(spec)
+			inj.Recorder = chaosRec
+			return inj.Dest(t)
+		}
+		defer func() {
+			for _, ev := range chaosRec.Events() {
+				fmt.Fprintf(os.Stderr, "[migd %s] %s: %s\n", m.Name, ev.Kind, ev.Detail)
+			}
+		}()
+		fmt.Printf("[migd %s] CHAOS armed: %s\n", m.Name, spec)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
 	go func() {
 		s := <-sigc
-		fmt.Fprintf(os.Stderr, "[migd %s] %v: draining in-flight sessions\n", m.Name, s)
+		fmt.Fprintf(os.Stderr, "[migd %s] %v: draining in-flight sessions (again to abort)\n", m.Name, s)
 		d.Shutdown()
+		s = <-sigc
+		// The second signal is the hard stop: cut every in-flight
+		// session's connection. Each fails with a classified transport
+		// error and its initiator rolls its source back.
+		fmt.Fprintf(os.Stderr, "[migd %s] %v: aborting in-flight sessions\n", m.Name, s)
+		d.Abort()
 	}()
 
 	fmt.Printf("[migd %s] serving %s on %s (max %d concurrent)\n",
@@ -389,6 +427,13 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 		os.Exit(1)
 	}
 	defer t.Close()
+	chaosRec := obs.NewFlightRecorder(0)
+	if o.chaos != nil {
+		inj := chaos.New(*o.chaos)
+		inj.Recorder = chaosRec
+		t = inj.Source(t)
+		fmt.Printf("[migd %s] CHAOS armed: %s\n", m.Name, *o.chaos)
+	}
 	var sres *session.Result
 	if o.live {
 		sres, err = session.InitiateLive(t, ne.engine, m, ne.name, p, o.sessionConfig())
@@ -403,7 +448,21 @@ func run(ne namedEngine, m *arch.Machine, o options) {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "migd: migration failed:", err)
-		os.Exit(1)
+		for _, ev := range chaosRec.Events() {
+			fmt.Fprintf(os.Stderr, "[migd %s] %s: %s\n", m.Name, ev.Kind, ev.Detail)
+		}
+		// The migration did not happen, so this side still owns the
+		// process: roll it back and run it to completion locally instead
+		// of stranding it paused (or losing it by exiting).
+		p.PollHook = nil
+		rres, rerr := session.Rollback(p, o.sessionConfig())
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "migd: rollback failed:", rerr)
+			os.Exit(1)
+		}
+		fmt.Printf("[migd %s] rolled back: process completed locally with exit code %d\n",
+			m.Name, rres.ExitCode)
+		os.Exit(rres.ExitCode)
 	}
 	prm := sres.Params
 	how := fmt.Sprintf("monolithic v%d", prm.Version)

@@ -2,9 +2,14 @@ package session
 
 import (
 	"errors"
+	"io"
+	"net"
+	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/collect"
 	"repro/internal/core"
+	"repro/internal/link"
 	"repro/internal/snapshot"
 	"repro/internal/store"
 	"repro/internal/stream"
@@ -26,8 +31,13 @@ const (
 	FailMismatch FailureClass = "program-mismatch"
 	// FailNegotiation: the handshake never produced parameters.
 	FailNegotiation FailureClass = "negotiation"
-	// FailTransport: everything else — connection resets, timeouts,
-	// protocol violations below the state layer.
+	// FailTransport: the connection died or misbehaved under the session
+	// — closed transports and links (a peer crash, a daemon drain or
+	// Abort, SIGTERM mid-session), deadline expiry, truncated reads,
+	// injected chaos faults — plus, as the fallthrough, anything no other
+	// class claims. The common shutdown and fault sentinels are matched
+	// explicitly so the classification is affirmative, not an accident of
+	// the fallthrough surviving a refactor.
 	FailTransport FailureClass = "transport"
 )
 
@@ -56,6 +66,15 @@ func ClassifyFailure(err error) FailureClass {
 		errors.Is(err, ErrNoVersion),
 		errors.Is(err, ErrUnknownProgram):
 		return FailNegotiation
+	case errors.Is(err, link.ErrClosed),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, os.ErrDeadlineExceeded),
+		errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, chaos.ErrInjected),
+		errors.Is(err, stream.ErrInjected),
+		errors.Is(err, stream.ErrRetriesExhausted):
+		return FailTransport
 	}
 	return FailTransport
 }

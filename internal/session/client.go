@@ -91,6 +91,9 @@ func initiateHandshake(t link.Transport, e *core.Engine, src *arch.Machine, prog
 	if cfg.Live && cfg.MaxVersion >= core.VersionSectioned {
 		o.caps |= capLive
 	}
+	if !cfg.NoCommit {
+		o.caps |= capCommit
+	}
 	cfg.Recorder.Record("session.offer", "program %q digest %08x trace %s", program, o.digest, tc)
 	hsStart := time.Now()
 	hs := cfg.Trace.Child("handshake")
@@ -127,6 +130,7 @@ func initiateHandshake(t link.Transport, e *core.Engine, src *arch.Machine, prog
 		return Params{}, tc, fmt.Errorf("%w: responder selected version %d without the live capability",
 			ErrProtocol, prm.Version)
 	}
+	prm.Commit = prm.Commit && !cfg.NoCommit
 	prm.Warm = prm.Warm && !prm.Live && cfg.Store != nil && prm.Version == core.VersionSectioned
 	if prm.Warm {
 		prm.Store = cfg.Store
@@ -139,32 +143,56 @@ func initiateHandshake(t link.Transport, e *core.Engine, src *arch.Machine, prog
 		prm.LiveResult = new(LiveStats)
 	}
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
-	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d warm=%v live=%v",
-		prm.Version, prm.ChunkSize, prm.Window, prm.Warm, prm.Live)
+	cfg.Recorder.Record("session.accept", "v%d chunk %d window %d warm=%v live=%v commit=%v",
+		prm.Version, prm.ChunkSize, prm.Window, prm.Warm, prm.Live, prm.Commit)
 	return prm, tc, nil
 }
 
-// awaitRestored blocks for the responder's RESTORED confirmation and
-// assembles the migration's Result. Only after it returns may the source
-// process terminate: the destination provably holds a restored, runnable
-// process.
+// awaitRestored blocks for the responder's RESTORED confirmation,
+// acknowledges it with COMMIT when the commit handshake was negotiated,
+// and assembles the migration's Result. Only after it returns may the
+// source process terminate: the destination provably holds a restored,
+// runnable process, and — under the commit handshake — holds it inactive
+// until our COMMIT was accepted by the transport. An error from any step,
+// including the COMMIT send, means the migration did not happen: the
+// source remains paused at its poll point and must roll back (Rollback).
 func awaitRestored(t link.Transport, cfg Config, prm Params, timing core.Timing, tc obs.TraceContext) (*Result, error) {
 	confirmStart := time.Now()
 	confirm := cfg.Trace.Child("confirm")
 	raw, err := t.Recv()
-	confirm.End()
-	cfg.observePhase("confirm", time.Since(confirmStart))
 	if err != nil {
+		confirm.End()
+		cfg.observePhase("confirm", time.Since(confirmStart))
 		cfg.Recorder.Record("session.fail", "confirm read: %v", err)
 		return nil, fmt.Errorf("session: restoration confirm read: %w", err)
 	}
 	m, err := parseMessage(raw)
 	if err != nil {
+		confirm.End()
+		cfg.observePhase("confirm", time.Since(confirmStart))
 		return nil, err
 	}
 	if m.typ != msgRestored {
+		confirm.End()
+		cfg.observePhase("confirm", time.Since(confirmStart))
 		return nil, fmt.Errorf("%w: expected RESTORED, got message type %d", ErrProtocol, m.typ)
 	}
+	if prm.Commit {
+		// The handoff pivot: a COMMIT the transport accepted will be
+		// delivered (frames are atomic under the fail-stop model), so a
+		// nil error here is the license to relinquish the source. A
+		// failed send means the responder will never activate — the
+		// source must roll back instead.
+		if err := t.Send(marshalCommit()); err != nil {
+			confirm.End()
+			cfg.observePhase("confirm", time.Since(confirmStart))
+			cfg.Recorder.Record("session.fail", "commit send: %v", err)
+			return nil, fmt.Errorf("session: commit send: %w", err)
+		}
+		cfg.Recorder.Record("session.commit", "handoff acknowledged; source relinquishes")
+	}
+	confirm.End()
+	cfg.observePhase("confirm", time.Since(confirmStart))
 	res := &Result{Params: prm, Timing: timing, Trace: tc, Warm: prm.WarmResult, Live: prm.LiveResult}
 	if len(m.spans) > 0 {
 		// The responder shipped its exported span tree: graft it under our
@@ -182,10 +210,46 @@ func awaitRestored(t link.Transport, cfg Config, prm Params, timing core.Timing,
 	return res, nil
 }
 
+// Rollback resumes a source process after a failed migration attempt.
+// Initiate, InitiateLive, and Transfer guarantee that on error the source
+// is still paused at its poll point with its state intact (byte-identical
+// to a capture taken before the attempt, for stop-and-copy paths);
+// Rollback is the other half of the recovery contract — the process
+// continues executing locally, to its next granted poll stop or to
+// completion, as if the migration had never been attempted. The elapsed
+// resume time is observed into the "session.rollback" histogram and the
+// "session.rolledback" counter; failures (a source too damaged to resume,
+// which the chaos matrix asserts never happens from a transport fault)
+// increment "session.rollback.failed".
+func Rollback(p *vm.Process, cfg Config) (*vm.Result, error) {
+	start := time.Now()
+	res, err := p.ResumeRun()
+	cfg.metrics().Histogram("session.rollback").Observe(time.Since(start))
+	if err != nil {
+		cfg.metrics().Counter("session.rollback.failed").Inc()
+		cfg.Recorder.Record("session.rollback", "source resume failed: %v", err)
+		return nil, fmt.Errorf("session: rollback resume: %w", err)
+	}
+	cfg.metrics().Counter("session.rolledback").Inc()
+	switch {
+	case res.Migrated:
+		cfg.Recorder.Record("session.rollback", "source resumed; paused at next granted poll")
+	default:
+		cfg.Recorder.Record("session.rollback", "source resumed; ran to completion (exit %d)", res.ExitCode)
+	}
+	return res, nil
+}
+
 // Transfer migrates the stopped process p from its machine to dst over an
 // in-memory pipe, running the full negotiated protocol end to end — the
 // single-call workflow used by the in-process scheduler. It returns the
 // restored process and the merged timing of all three phases.
+//
+// On failure the source is rolled back before Transfer returns: the
+// paused process resumes execution (Rollback) to its next granted poll
+// stop or to completion, so an error never strands it paused forever.
+// Exactly one live copy exists either way — the restored destination on
+// success, the resumed source on failure.
 func Transfer(e *core.Engine, program string, p *vm.Process, dst *arch.Machine, cfg Config) (*vm.Process, core.Timing, error) {
 	a, b := link.Pipe()
 	defer a.Close()
@@ -210,6 +274,9 @@ func Transfer(e *core.Engine, program string, p *vm.Process, dst *arch.Machine, 
 	}
 	rr := <-c
 	if err != nil {
+		// The migration did not happen; the source still owns the
+		// process. Resume it so the failure never strands it paused.
+		Rollback(p, cfg)
 		return nil, core.Timing{}, err
 	}
 	if rr.err != nil {

@@ -87,8 +87,12 @@ type Info struct {
 // Respond serves exactly one inbound migration session on t: it reads the
 // offer, negotiates against cfg and the registry, receives the state
 // through the selected path, restores the process on machine m, and
-// confirms with RESTORED. A negotiation failure is reported to the peer
-// (REJECT) and returned.
+// confirms with RESTORED. Under the commit handshake (negotiated by
+// default) it then holds the restored process until the initiator's
+// COMMIT arrives, returning it — ready to activate — only once the source
+// has provably relinquished; a session that fails before that point
+// returns no process, and the initiator rolls its source back instead. A
+// negotiation failure is reported to the peer (REJECT) and returned.
 func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info, *vm.Process, core.Timing, error) {
 	hsStart := time.Now()
 	hs := cfg.Trace.Child("handshake")
@@ -144,6 +148,11 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 		prm.Program = name
 		prm.LiveResult = new(LiveStats)
 	}
+	// The commit handshake runs whenever the initiator speaks it (and
+	// this side has not opted out); the echoed ACCEPT capability commits
+	// to it. A legacy initiator never sends COMMIT, so echoing only an
+	// advertised capability is what keeps this side from waiting forever.
+	prm.Commit = o.caps&capCommit != 0 && !cfg.NoCommit
 	// Warm transfer needs the sectioned version, the initiator's capWarm,
 	// and a store on this side; the echoed ACCEPT capability commits to it.
 	prm.Warm = !prm.Live && o.caps&capWarm != 0 && cfg.Store != nil && prm.Version == core.VersionSectioned
@@ -155,8 +164,8 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 	cfg.Trace.SetAttr("version", strconv.Itoa(int(prm.Version)))
 	cfg.Trace.SetAttr("program", name)
 	info := Info{Program: name, SrcMachine: o.machine, Params: prm, Trace: tc, Warm: prm.WarmResult, Live: prm.LiveResult}
-	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d warm=%v live=%v",
-		name, prm.Version, prm.ChunkSize, prm.Window, prm.Warm, prm.Live)
+	cfg.Recorder.Record("session.accept", "program %q v%d chunk %d window %d warm=%v live=%v commit=%v",
+		name, prm.Version, prm.ChunkSize, prm.Window, prm.Warm, prm.Live, prm.Commit)
 	err = t.Send(marshalAccept(prm))
 	hs.End()
 	cfg.observePhase("handshake", time.Since(hsStart))
@@ -187,11 +196,34 @@ func Respond(t link.Transport, reg *Registry, m *arch.Machine, cfg Config) (Info
 		}
 	}
 	err = t.Send(marshalRestored(uint64(timing.Bytes), spans))
-	confirm.End()
-	cfg.observePhase("confirm", time.Since(confirmStart))
 	if err != nil {
+		confirm.End()
+		cfg.observePhase("confirm", time.Since(confirmStart))
 		return info, nil, core.Timing{}, fmt.Errorf("session: restored send: %w", err)
 	}
+	if prm.Commit {
+		// Hold the restored process inactive until the initiator commits
+		// the handoff. No COMMIT means the initiator never saw RESTORED
+		// (or could not answer): it is rolling the source back, so this
+		// copy must be discarded — activating both would double the
+		// process; activating neither would lose it.
+		raw, rerr := t.Recv()
+		if rerr == nil {
+			var cm message
+			if cm, rerr = parseMessage(raw); rerr == nil && cm.typ != msgCommit {
+				rerr = fmt.Errorf("%w: expected COMMIT, got message type %d", ErrProtocol, cm.typ)
+			}
+		}
+		if rerr != nil {
+			confirm.End()
+			cfg.observePhase("confirm", time.Since(confirmStart))
+			cfg.Recorder.Record("session.discard", "no commit after RESTORED; discarding restored process: %v", rerr)
+			return info, nil, core.Timing{}, fmt.Errorf("session: commit read: %w", rerr)
+		}
+		cfg.Recorder.Record("session.commit", "handoff committed; activating restored process")
+	}
+	confirm.End()
+	cfg.observePhase("confirm", time.Since(confirmStart))
 	return info, p, timing, nil
 }
 
@@ -235,12 +267,20 @@ type Daemon struct {
 	// FlightEvents bounds each session's flight-recorder ring (zero
 	// selects the recorder default of 256).
 	FlightEvents int
+	// WrapTransport, when set, wraps each accepted connection before the
+	// session protocol runs on it — the hook the chaos harness (and any
+	// other transport middleware) injects through. Called concurrently.
+	WrapTransport func(link.Transport) link.Transport
 
 	counters stats.SessionCounters
 	nextID   atomic.Uint64
 	closing  atomic.Bool
+	aborting atomic.Bool
 	listener atomic.Pointer[link.Listener]
 	wg       sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[*link.Conn]struct{}
 }
 
 // Counters exposes the daemon's lifecycle counters.
@@ -269,6 +309,48 @@ func (d *Daemon) Shutdown() {
 			l.Close()
 		}
 	}
+}
+
+// Abort is the hard stop: Shutdown, plus every in-flight session's
+// connection is closed under it. In-flight sessions fail with a
+// transport-classified error (FailTransport) — never an unclassified one
+// — and their initiators roll their sources back; the commit handshake
+// guarantees no process is lost or doubled by the cut. Safe from a
+// signal handler goroutine (migd aborts on a second SIGTERM), and more
+// than once.
+func (d *Daemon) Abort() {
+	d.Shutdown()
+	if !d.aborting.CompareAndSwap(false, true) {
+		return
+	}
+	d.connMu.Lock()
+	for conn := range d.conns {
+		conn.Close()
+	}
+	d.connMu.Unlock()
+}
+
+// track registers an in-flight session's connection for Abort; it
+// reports false — and closes the connection — when the daemon is already
+// aborting.
+func (d *Daemon) track(conn *link.Conn) bool {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	if d.aborting.Load() {
+		conn.Close()
+		return false
+	}
+	if d.conns == nil {
+		d.conns = map[*link.Conn]struct{}{}
+	}
+	d.conns[conn] = struct{}{}
+	return true
+}
+
+func (d *Daemon) untrack(conn *link.Conn) {
+	d.connMu.Lock()
+	delete(d.conns, conn)
+	d.connMu.Unlock()
 }
 
 // Serve accepts migration sessions on l until Shutdown (returning nil once
@@ -311,8 +393,16 @@ func (d *Daemon) Serve(l *link.Listener) error {
 func (d *Daemon) handle(conn *link.Conn) {
 	id := d.nextID.Add(1)
 	defer conn.Close()
+	if !d.track(conn) {
+		return
+	}
+	defer d.untrack(conn)
 	if d.Timeout > 0 {
 		conn.SetDeadline(time.Now().Add(d.Timeout))
+	}
+	var t link.Transport = conn
+	if d.WrapTransport != nil {
+		t = d.WrapTransport(conn)
 	}
 	cfg := d.Config
 	var tr *obs.Tracer
@@ -326,7 +416,7 @@ func (d *Daemon) handle(conn *link.Conn) {
 	recorder := obs.NewFlightRecorder(d.FlightEvents)
 	cfg.Recorder = recorder
 	start := time.Now()
-	info, p, timing, err := Respond(conn, d.Registry, d.Mach, cfg)
+	info, p, timing, err := Respond(t, d.Registry, d.Mach, cfg)
 	info.ID = id
 	reg := d.metrics()
 	if err != nil {

@@ -53,6 +53,17 @@ func FuzzHandshake(f *testing.F) {
 	f.Add(marshalAccept(Params{Version: 2, ChunkSize: 65536, Window: 16}))
 	f.Add(marshalAccept(Params{Version: 3, ChunkSize: 65536, Window: 16, Warm: true}))
 	f.Add(marshalAccept(Params{Version: 4, ChunkSize: 65536, Window: 16, Live: true}))
+	f.Add(marshalAccept(Params{Version: 3, ChunkSize: 65536, Window: 16, Commit: true}))
+	committing := traced
+	committing.caps = capWarm | capLive | capCommit
+	f.Add(marshalOffer(committing))
+	// COMMIT and its chaos-truncated variants: the harness kills at frame
+	// boundaries, but a buggy transport could still hand the parser a cut
+	// frame — it must classify, never crash.
+	commit := marshalCommit()
+	f.Add(commit)
+	f.Add(commit[:6])
+	f.Add(commit[:4])
 	// A DELTA frame: parseMessage only speaks handshake messages, so this
 	// must be rejected as a protocol violation, never crash the parser.
 	f.Add(marshalDelta(1, liveFinal, 12, nil))
@@ -90,6 +101,8 @@ func FuzzHandshake(f *testing.F) {
 			again = marshalReject(m.reason)
 		case msgRestored:
 			again = marshalRestored(m.bytes, m.spans)
+		case msgCommit:
+			again = marshalCommit()
 		default:
 			t.Fatalf("parser accepted unknown message type %d", m.typ)
 		}
@@ -105,7 +118,7 @@ func FuzzHandshake(f *testing.F) {
 		}
 		if m2.params.Version != m.params.Version || m2.params.ChunkSize != m.params.ChunkSize ||
 			m2.params.Window != m.params.Window || m2.params.Warm != m.params.Warm ||
-			m2.params.Live != m.params.Live {
+			m2.params.Live != m.params.Live || m2.params.Commit != m.params.Commit {
 			t.Fatalf("re-marshal params differ: %+v vs %+v", m2.params, m.params)
 		}
 	})

@@ -29,6 +29,7 @@ package session
 // transfer degrades to a full copy plus one delta round, never worse.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -474,25 +475,34 @@ func InitiateLive(t link.Transport, e *core.Engine, src *arch.Machine, program s
 		if len(st.Rounds) > 0 {
 			reg.Counter("session.precopy.bytes").Add(int64(st.Rounds[len(st.Rounds)-1].Bytes))
 		}
-		if serr != nil {
-			tx.End()
-			cfg.Recorder.Record("session.fail", "live round: %v", serr)
-			return nil, serr
-		}
 		if runErr != nil {
 			tx.End()
 			return nil, runErr
 		}
 		stopTime = time.Now()
 		if !res.Migrated {
-			// The source ran to completion between rounds: nothing left
-			// to migrate. Stand the responder down.
+			// The source ran to completion between rounds: the finished
+			// local run IS the surviving copy, so ErrSourceExited wins no
+			// matter what the wire did meanwhile. Stand the responder down
+			// best-effort — a dead transport discards the partial restore
+			// on its own (the responder classifies it as a transport
+			// failure), and a failed abort send must not turn a completed
+			// execution into a rollback attempt on a process that has
+			// nothing left to resume.
 			tx.End()
 			cfg.Recorder.Record("session.live", "source exited (code %d) after %d rounds; aborting", res.ExitCode, len(st.Rounds))
-			if err := t.Send(marshalLiveAbort(fmt.Sprintf("source ran to completion (exit %d)", res.ExitCode))); err != nil {
-				return nil, fmt.Errorf("session: live abort send: %w", err)
+			if serr == nil {
+				serr = t.Send(marshalLiveAbort(fmt.Sprintf("source ran to completion (exit %d)", res.ExitCode)))
+			}
+			if serr != nil {
+				cfg.Recorder.Record("session.live", "responder not stood down cleanly: %v", serr)
 			}
 			return &Result{Params: prm, Trace: tc, Live: st}, ErrSourceExited
+		}
+		if serr != nil {
+			tx.End()
+			cfg.Recorder.Record("session.fail", "live round: %v", serr)
+			return nil, serr
 		}
 		dirty := lc.DirtyBlocks()
 		switch {
@@ -548,6 +558,11 @@ func InitiateLive(t link.Transport, e *core.Engine, src *arch.Machine, program s
 // of Transfer. p must be stopped at a poll point in NoAutoCapture mode;
 // it resumes between rounds. Returns the restored process, the full
 // Result (including LiveStats), and the merged timing.
+//
+// Like Transfer, a failed attempt rolls the source back before
+// returning: the paused process resumes execution so an error never
+// strands it. The exception is ErrSourceExited, where the source already
+// ran to completion locally — that run is the surviving copy.
 func TransferLive(e *core.Engine, program string, p *vm.Process, dst *arch.Machine, cfg Config) (*vm.Process, *Result, core.Timing, error) {
 	a, b := link.Pipe()
 	defer a.Close()
@@ -572,6 +587,12 @@ func TransferLive(e *core.Engine, program string, p *vm.Process, dst *arch.Machi
 	}
 	rr := <-c
 	if err != nil {
+		// Roll the source back unless it already ran to completion
+		// between rounds (ErrSourceExited) — then there is nothing paused
+		// to resume, and the local run IS the surviving copy.
+		if !errors.Is(err, ErrSourceExited) {
+			Rollback(p, cfg)
+		}
 		return nil, res, core.Timing{}, err
 	}
 	if rr.err != nil {

@@ -21,7 +21,14 @@
 //  4. the responder restores the process and confirms with RESTORED, at
 //     which point the source process may terminate (the paper's
 //     source-terminates-after-transmission rule, moved after restoration
-//     so a failed restore leaves the source alive).
+//     so a failed restore leaves the source alive);
+//  5. when both sides advertised capCommit, the initiator answers
+//     RESTORED with COMMIT and the responder activates the restored
+//     process only once the COMMIT arrives — the commit handshake that
+//     makes the handoff atomic under connection loss (see DESIGN.md §16:
+//     the source relinquishes only after a successful COMMIT send, the
+//     destination activates only after COMMIT delivery, so under
+//     fail-stop faults at frame boundaries exactly one copy survives).
 //
 // Chunk size and window are negotiated, not operator-matched: each side
 // proposes, both use the minimum. A v1-only initiator talks to a
@@ -38,6 +45,7 @@
 //	           [, caps u32]
 //	reject   = magic, REJECT, reason string
 //	restored = magic, RESTORED, bytes u64 [, spans opaque]
+//	commit   = magic, COMMIT
 //
 // The bracketed fields are extensions and are backward compatible in both
 // directions: an old initiator's offer simply ends after window (the
@@ -46,9 +54,10 @@
 // Likewise RESTORED may carry the responder's exported span tree (JSON,
 // XDR-opaque-framed) after the byte count; old initiators stop reading
 // after bytes. traceID zero means "untraced". caps is a capability bitmap
-// (capWarm advertises a checkpoint store, capLive the live pre-copy
-// path); a zero capability set is not encoded at all, so a peer without
-// capabilities emits frames byte-identical to the pre-extension protocol.
+// (capWarm advertises a checkpoint store, capLive the live pre-copy path,
+// capCommit the commit handshake); a zero capability set is not encoded
+// at all, so a peer without capabilities emits frames byte-identical to
+// the pre-extension protocol.
 //
 // Between ACCEPT and RESTORED the transport belongs to the selected Path:
 // one sealed envelope frame for version 1, the internal/stream protocol
@@ -100,6 +109,10 @@ const (
 	msgDeltaWant
 	msgDeltaBodies
 	msgLiveAbort
+	// msgCommit is the initiator's handoff acknowledgement (only ever
+	// sent when both sides advertised capCommit): the source has seen
+	// RESTORED and relinquishes the process; the destination activates.
+	msgCommit
 )
 
 // Capability bits, carried as an optional trailing u32 on OFFER and
@@ -117,6 +130,14 @@ const (
 	// paused round bounding downtime. Both sides advertising it upgrades a
 	// sectioned negotiation to core.VersionLive.
 	capLive uint32 = 1 << 1
+	// capCommit: this side speaks the commit handshake — after RESTORED
+	// the initiator answers COMMIT, and the responder activates the
+	// restored process only once the COMMIT arrives. Both sides
+	// advertising it closes the RESTORED-to-activation window in which a
+	// connection loss could leave the process both resumed at the source
+	// and activated at the destination. Advertised by default (it costs
+	// one trailing bit); Config.NoCommit suppresses it.
+	capCommit uint32 = 1 << 2
 )
 
 // Errors reported by the session layer.
@@ -190,6 +211,14 @@ type Config struct {
 	// dirty set is at or below this many blocks, the next round is the
 	// final one. Zero selects 16 blocks. Source-side policy only.
 	DirtyThreshold int
+	// NoCommit suppresses the commit handshake (capCommit): RESTORED
+	// alone completes the session, as in the pre-commit protocol, and
+	// every handshake frame is byte-identical to the pre-commit wire
+	// format. For interop testing and as an escape hatch; the commit
+	// handshake is otherwise always advertised, because without it a
+	// connection lost between RESTORED and the source's reaction can
+	// leave the process running on both machines.
+	NoCommit bool
 }
 
 // metrics resolves the registry the phase histograms observe into.
@@ -262,6 +291,11 @@ type Params struct {
 	// LiveResult, when non-nil, is filled by the live path with the
 	// per-round outcome of the transfer.
 	LiveResult *LiveStats
+	// Commit selects the commit handshake: both sides advertised
+	// capCommit, so the responder holds the restored process inactive
+	// until the initiator's COMMIT acknowledges the handoff. Crosses the
+	// wire as the ACCEPT capability bit.
+	Commit bool
 }
 
 // offer is the decoded OFFER message.
@@ -347,10 +381,20 @@ func marshalAccept(p Params) []byte {
 	if p.Live {
 		caps |= capLive
 	}
+	if p.Commit {
+		caps |= capCommit
+	}
 	if caps != 0 {
 		// Trailing and optional: legacy initiators stop after window.
 		e.PutUint32(caps)
 	}
+	return e.Bytes()
+}
+
+func marshalCommit() []byte {
+	e := xdr.NewEncoder(8)
+	e.PutUint32(sessionMagic)
+	e.PutUint32(msgCommit)
 	return e.Bytes()
 }
 
@@ -408,6 +452,7 @@ func parseMessage(raw []byte) (message, error) {
 			}
 			m.params.Warm = caps&capWarm != 0
 			m.params.Live = caps&capLive != 0
+			m.params.Commit = caps&capCommit != 0
 		}
 	case msgReject:
 		m.reason, err = d.String()
@@ -418,6 +463,8 @@ func parseMessage(raw []byte) (message, error) {
 		if d.Remaining() > 0 {
 			m.spans, err = d.Opaque()
 		}
+	case msgCommit:
+		// No payload: the frame itself is the acknowledgement.
 	default:
 		return message{}, fmt.Errorf("%w: unknown message type %d", ErrProtocol, typ)
 	}

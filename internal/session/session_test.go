@@ -194,7 +194,7 @@ func TestInitiateReportsNegotiatedParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := Params{Version: core.VersionSectioned, ChunkSize: 512, Window: 4}
+	want := Params{Version: core.VersionSectioned, ChunkSize: 512, Window: 4, Commit: true}
 	if res.Params != want {
 		t.Errorf("params = %+v, want %+v", res.Params, want)
 	}

@@ -63,8 +63,9 @@ func TestLegacyOfferInterop(t *testing.T) {
 		c <- respondRes{info, err}
 	}()
 
-	// The offer's trace pair is its trailing 16 bytes (two u64s).
-	res, err := Initiate(&stripTail{Transport: a, n: 16}, e, p.Mach, "list", p, Config{})
+	// The offer's trace pair is its trailing 16 bytes (two u64s). NoCommit
+	// keeps the caps word unencoded, as a pre-commit initiator would.
+	res, err := Initiate(&stripTail{Transport: a, n: 16}, e, p.Mach, "list", p, Config{NoCommit: true})
 	if err != nil {
 		t.Fatalf("initiate: %v", err)
 	}

@@ -20,6 +20,16 @@ func FuzzDecodeSection(f *testing.F) {
 	bad[30] ^= 0xa5 // body corruption -> CRC failure
 	f.Add(bad)
 	f.Add([]byte("MSN3"))
+	// Chaos-shaped truncations: a connection killed at a frame boundary
+	// leaves the receiver with a prefix of the section stream. Seed the
+	// cut at every section edge and at the split points a mid-frame death
+	// would leave behind.
+	for i := 1; i < len(full); i += len(full)/8 + 1 {
+		f.Add(full[:i])
+	}
+	multi := Encode(append(sample(), Section{Kind: KindHeap, ID: 7, Body: []byte("chaos")}))
+	f.Add(multi[:len(multi)/2])
+	f.Add(multi[:len(multi)-1])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rd, err := NewReader(xdr.NewDecoder(data))
