@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store|hotpath|live|chaos]
+//	migbench [-exp all|hetero|table1|fig2a|fig2b|complexity|overhead|ablations|chain|stream|section|obs|obs2|store|hotpath|live|chaos|fleet]
 //	         [-quick] [-repeats N] [-json] [-trace-dir DIR] [-store-dir DIR]
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store, hotpath, live, chaos")
+	expName := flag.String("exp", "all", "experiment: all, hetero, table1, fig2a, fig2b, complexity, overhead, ablations, chain, stream, section, obs, obs2, store, hotpath, live, chaos, fleet")
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	repeats := flag.Int("repeats", 3, "min-of-N timing repetitions")
 	tsvDir := flag.String("tsv", "", "also write figure data as TSV files into this directory")
@@ -373,6 +373,20 @@ func main() {
 					r.Mode, r.ZeroSurvivors, r.TwoSurvivors)
 				failed = true
 			}
+		}
+	}
+
+	if run("fleet") {
+		r, err := exper.Fleet(cfg)
+		if err != nil {
+			fail(err)
+		}
+		exper.PrintFleet(os.Stdout, r)
+		writeJSON("fleet", r)
+		if !r.OK {
+			fmt.Printf("FAIL: fleet gates: counts=%v quantiles=%v drain=%v slo=%v journal=%v — the scraped roll-up must agree with ground truth\n\n",
+				r.CountsMatch, r.QuantilesMatch, r.DrainMatch, r.SLOMatch, r.JournalMatch)
+			failed = true
 		}
 	}
 

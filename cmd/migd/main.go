@@ -54,6 +54,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/link"
 	"repro/internal/minic"
 	"repro/internal/obs"
@@ -77,6 +78,10 @@ type options struct {
 	pprofAddr      string
 	trace          bool
 	traceDir       string
+	journalDir     string
+	nodeID         string
+	sloSession     time.Duration
+	sloDowntime    time.Duration
 	store          *store.Store
 	live           bool
 	precopyRounds  int
@@ -133,6 +138,10 @@ func main() {
 	pprofAddr := fs.String("pprof", "", "serve: HTTP address for net/http/pprof and the /metrics JSON endpoint (empty disables)")
 	trace := fs.Bool("trace", false, "serve: log a per-session phase-span tree after each session")
 	traceDir := fs.String("trace-dir", "", "serve: dump a flight-<traceID>.json recording into this directory when a session fails (empty disables)")
+	journalDir := fs.String("journal-dir", "", "serve: also append the structured session journal (JSONL) to journal-<nodeID>.jsonl in this directory")
+	nodeID := fs.String("node-id", "", "serve: override the minted node identity on /metrics and in the journal")
+	sloSession := fs.Duration("slo-session", 0, "serve: per-session wall-time SLO target; sessions over it burn slo.session.burn (0 disables)")
+	sloDowntime := fs.Duration("slo-downtime", 0, "serve: live-migration downtime SLO target; pauses over it burn slo.downtime.burn (0 disables)")
 	storeDir := fs.String("store", "", "checkpoint store directory enabling warm (dedup'd) transfers with store-equipped peers (empty disables)")
 	live := fs.Bool("live", false, "offer the live pre-copy (v4) path: overlap execution with the transfer, pausing only for the final delta round (falls back when the peer lacks -live)")
 	precopyRounds := fs.Int("precopy-rounds", 0, "live: delta rounds before the forced final pause (0 = default)")
@@ -161,6 +170,10 @@ func main() {
 		pprofAddr:      *pprofAddr,
 		trace:          *trace,
 		traceDir:       *traceDir,
+		journalDir:     *journalDir,
+		nodeID:         *nodeID,
+		sloSession:     *sloSession,
+		sloDowntime:    *sloDowntime,
 		live:           *live,
 		precopyRounds:  *precopyRounds,
 		dirtyThreshold: *dirtyThreshold,
@@ -193,6 +206,7 @@ func usage() {
   migd serve -addr HOST:PORT -machine NAME -program FILE [-program FILE ...]
              [-max-concurrent N] [-session-timeout D] [-chunk N -window N]
              [-pprof HOST:PORT] [-trace] [-trace-dir DIR] [-store DIR]
+             [-journal-dir DIR] [-node-id ID] [-slo-session D] [-slo-downtime D]
              [-restore-workers N] [-live] [-chaos SPEC]
   migd run   -addr HOST:PORT -machine NAME -program FILE -after-polls N
              [-no-stream] [-chunk N -window N] [-retry N -retry-timeout D]
@@ -294,17 +308,30 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		names = append(names, fmt.Sprintf("%s(%08x)", ne.name, ne.engine.Digest()))
 	}
 
-	if o.pprofAddr != "" {
-		// Diagnostics endpoint: net/http/pprof registers its handlers on
-		// http.DefaultServeMux at import; /metrics serves the default obs
-		// registry as the shared JSON report schema.
-		http.Handle("/metrics", obs.MetricsHandler(nil))
-		go func() {
-			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "[migd %s] pprof endpoint: %v\n", m.Name, err)
-			}
-		}()
-		fmt.Printf("[migd %s] pprof and /metrics on http://%s\n", m.Name, o.pprofAddr)
+	// Node identity: the /metrics header, the journal's node attribute,
+	// and the derived node.* gauges (uptime, store usage).
+	node := fleet.NewNode(m.Name, o.addr, obs.Default)
+	if o.nodeID != "" {
+		node.Info.ID = o.nodeID
+	}
+	node.Store = o.store
+
+	// The structured session journal replaces the daemon's ad-hoc
+	// per-session stderr lines: JSON records on stderr, plus — with
+	// -journal-dir — an append-only JSONL file that survives the process.
+	journal, err := fleet.NewJournal(os.Stderr, o.journalDir, node.Info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	defer journal.Close()
+	if journal.Path() != "" {
+		fmt.Printf("[migd %s] session journal at %s\n", m.Name, journal.Path())
+	}
+
+	slo := &fleet.Tracker{
+		SLO:     fleet.SLO{Session: o.sloSession, Downtime: o.sloDowntime},
+		Metrics: obs.Default,
 	}
 
 	d := &session.Daemon{
@@ -315,6 +342,13 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 		Timeout:       o.sessionTimeout,
 		Trace:         o.trace,
 		TraceDir:      o.traceDir,
+		Journal:       journal.Logger(),
+		OnSessionEnd: func(info session.Info, elapsed time.Duration, err error) {
+			slo.ObserveSession(elapsed)
+			if err == nil && info.Live != nil && info.Live.Downtime > 0 {
+				slo.ObserveDowntime(info.Live.Downtime)
+			}
+		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[migd %s] %s\n", m.Name, fmt.Sprintf(format, args...))
 		},
@@ -343,6 +377,25 @@ func serve(engines []namedEngine, m *arch.Machine, o options) {
 			fmt.Printf("[migd %s] session %d: process completed with exit code %d\n",
 				m.Name, info.ID, res.ExitCode)
 		},
+	}
+
+	// Readiness follows the drain: the moment SIGTERM starts it, /readyz
+	// flips to 503 while /healthz keeps answering ok, so an orchestrator
+	// stops routing to this node without restarting it.
+	node.Ready = func() bool { return !d.Draining() }
+
+	if o.pprofAddr != "" {
+		// Diagnostics endpoint: net/http/pprof registers its handlers on
+		// http.DefaultServeMux at import; the node's telemetry routes
+		// (/metrics with the node header, /healthz, /readyz) share it.
+		node.Routes(nil)
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "[migd %s] pprof endpoint: %v\n", m.Name, err)
+			}
+		}()
+		fmt.Printf("[migd %s] pprof, /metrics, /healthz, /readyz on http://%s (node %s)\n",
+			m.Name, o.pprofAddr, node.Info.ID)
 	}
 
 	if o.chaos != nil {

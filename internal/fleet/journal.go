@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Journal is the structured session event log: one JSON record (slog)
+// per lifecycle event, written to w — migd's stderr — and, when dir is
+// set, appended to journal-<nodeID>.jsonl there so fleet-level
+// post-mortems survive the process. Every record carries the node ID;
+// the daemon adds session ID, trace ID, peer, negotiated version,
+// transfer shape, fail class, bytes, and durations, so a failed
+// session's journal line and its flight-recorder dump cross-reference
+// by trace ID.
+type Journal struct {
+	logger *slog.Logger
+	file   *os.File
+	path   string
+}
+
+// NewJournal opens the journal. Either sink may be absent: w nil means
+// file-only, dir empty means stderr-only; both absent yields a journal
+// that discards (its Logger is still non-nil, so callers don't branch).
+func NewJournal(w io.Writer, dir string, node obs.NodeInfo) (*Journal, error) {
+	j := &Journal{}
+	var sinks []io.Writer
+	if w != nil {
+		sinks = append(sinks, w)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: journal: %w", err)
+		}
+		j.path = filepath.Join(dir, "journal-"+node.ID+".jsonl")
+		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: journal: %w", err)
+		}
+		j.file = f
+		sinks = append(sinks, f)
+	}
+	var out io.Writer = io.Discard
+	if len(sinks) == 1 {
+		out = sinks[0]
+	} else if len(sinks) > 1 {
+		out = io.MultiWriter(sinks...)
+	}
+	h := slog.NewJSONHandler(out, nil)
+	j.logger = slog.New(h).With("node", node.ID)
+	return j, nil
+}
+
+// Logger returns the slog logger the daemon writes records through
+// (nil on a nil journal, which the daemon treats as journaling off).
+func (j *Journal) Logger() *slog.Logger {
+	if j == nil {
+		return nil
+	}
+	return j.logger
+}
+
+// Path returns the JSONL file path, or "" for a stderr-only journal.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Close closes the JSONL file, if any.
+func (j *Journal) Close() error {
+	if j == nil || j.file == nil {
+		return nil
+	}
+	return j.file.Close()
+}

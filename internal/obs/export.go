@@ -11,8 +11,27 @@ import (
 
 // ReportSchema names the JSON schema version shared by every obs export:
 // migbench's BENCH_*.json files and migd's /metrics endpoint both emit a
-// Report with this marker, so downstream tooling reads one format.
-const ReportSchema = "repro-obs/1"
+// Report with this marker, so downstream tooling reads one format. v2
+// added the optional node identity header; everything else is unchanged.
+const ReportSchema = "repro-obs/2"
+
+// ReportSchemaV1 is the previous schema marker. The v1→v2 change was
+// purely additive (v1 reports simply carry no node header), so v2
+// readers — ParseReport, the fleet scraper — accept both.
+const ReportSchemaV1 = "repro-obs/1"
+
+// NodeInfo identifies the node that emitted a Report — the header block
+// the fleet scraper keys its aggregation on. ID is stable for the
+// process lifetime; Start and Version let operators spot restarts and
+// mixed-version fleets from one scrape.
+type NodeInfo struct {
+	ID      string    `json:"id"`
+	Machine string    `json:"machine,omitempty"`
+	Addr    string    `json:"addr,omitempty"`
+	PID     int       `json:"pid,omitempty"`
+	Start   time.Time `json:"start,omitempty"`
+	Version string    `json:"version,omitempty"`
+}
 
 // SpanData is the exported (JSON) form of a Span. Times are microseconds:
 // StartUS is the span's offset from its root span's start, DurUS its
@@ -168,6 +187,7 @@ func Stitch(roots []*SpanData, remote *SpanData) bool {
 // and a metrics snapshot, each optional.
 type Report struct {
 	Schema     string           `json:"schema"`
+	Node       *NodeInfo        `json:"node,omitempty"`
 	Experiment string           `json:"experiment,omitempty"`
 	Rows       any              `json:"rows,omitempty"`
 	Spans      []*SpanData      `json:"spans,omitempty"`
@@ -177,6 +197,23 @@ type Report struct {
 // NewReport builds a Report with the schema marker set.
 func NewReport(experiment string, rows any) *Report {
 	return &Report{Schema: ReportSchema, Experiment: experiment, Rows: rows}
+}
+
+// ParseReport decodes a JSON Report, accepting the current schema and
+// every earlier one. It is the read side of the export contract: the
+// fleet scraper and report tooling go through here so a mixed-version
+// fleet (v1 nodes without the node header next to v2 nodes) aggregates
+// cleanly, while a genuinely foreign document fails loudly.
+func ParseReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("obs: parse report: %w", err)
+	}
+	switch r.Schema {
+	case ReportSchema, ReportSchemaV1:
+		return &r, nil
+	}
+	return nil, fmt.Errorf("obs: unknown report schema %q", r.Schema)
 }
 
 // WithMetrics attaches a registry snapshot and returns the report.
@@ -200,10 +237,24 @@ func (r *Report) WithSpans(spans []*SpanData) *Report {
 // OpenMetrics. An unknown ?format= is a 400; an encoding failure is a 500
 // (the body is staged in memory so the status line is still writable).
 func MetricsHandler(reg *Registry) http.Handler {
+	return NodeMetricsHandler(reg, nil)
+}
+
+// NodeMetricsHandler serves like MetricsHandler with a node identity
+// header stamped into the JSON report (the Prometheus exposition is
+// unchanged — node identity travels out-of-band there). node is invoked
+// per request, before the snapshot, so the caller can refresh derived
+// gauges (uptime, store usage) and return the current identity; nil node
+// or a nil return serves a headerless report.
+func NodeMetricsHandler(reg *Registry, node func() *NodeInfo) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		r := reg
 		if r == nil {
 			r = Default
+		}
+		var info *NodeInfo
+		if node != nil {
+			info = node()
 		}
 		snap := r.Snapshot()
 		format := req.URL.Query().Get("format")
@@ -226,6 +277,7 @@ func MetricsHandler(reg *Registry) http.Handler {
 			w.Write(buf.Bytes())
 		case "json":
 			rep := NewReport("", nil)
+			rep.Node = info
 			rep.Metrics = &snap
 			b, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {

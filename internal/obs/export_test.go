@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseReportV1Compat reads a recorded repro-obs/1 snapshot — the
+// format every pre-fleet consumer archived — and checks the v2 reader
+// accepts it unchanged: metrics intact, node header absent, and its
+// histograms still answer quantile queries (what the scraper does with
+// a v1 node in a mixed fleet).
+func TestParseReportV1Compat(t *testing.T) {
+	raw, err := os.ReadFile("testdata/metrics_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseReport(raw)
+	if err != nil {
+		t.Fatalf("v1 report rejected: %v", err)
+	}
+	if rep.Schema != ReportSchemaV1 {
+		t.Fatalf("schema = %q, want %q", rep.Schema, ReportSchemaV1)
+	}
+	if rep.Node != nil {
+		t.Errorf("v1 report grew a node header: %+v", rep.Node)
+	}
+	if rep.Metrics == nil || rep.Metrics.Counters["session.restored"] != 11 {
+		t.Fatalf("metrics not preserved: %+v", rep.Metrics)
+	}
+	h := rep.Metrics.Histograms["session.phase.restore"]
+	if h.Count != 11 || h.Quantile(0.5) != 4096*time.Microsecond {
+		t.Errorf("histogram p50 = %v (count %d), want 4.096ms (11)", h.Quantile(0.5), h.Count)
+	}
+	// The recorded summary quantiles must agree with what the v2 code
+	// re-derives from the buckets — the layout did not move.
+	if got := h.Quantile(0.99).Microseconds(); got != h.P99US {
+		t.Errorf("re-derived p99 %dus != recorded %dus", got, h.P99US)
+	}
+}
+
+// TestParseReportUnknownSchema pins the failure mode for foreign
+// documents: parse errors, not silent misreads.
+func TestParseReportUnknownSchema(t *testing.T) {
+	if _, err := ParseReport([]byte(`{"schema":"repro-obs/99"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := ParseReport([]byte(`not json`)); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}
+
+// TestNodeMetricsHandler checks the v2 endpoint: the JSON report carries
+// the schema marker and the node identity header, the refresh hook runs
+// per request, the Prometheus exposition stays header-free, and an
+// unknown ?format= is still a 400.
+func TestNodeMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("session.restored").Add(4)
+	refreshes := 0
+	start := time.Now().Add(-time.Minute)
+	srv := httptest.NewServer(NodeMetricsHandler(reg, func() *NodeInfo {
+		refreshes++
+		return &NodeInfo{ID: "host-abcd1234", Machine: "sparc20", Start: start, Version: "devel"}
+	}))
+	defer srv.Close()
+
+	body := func(url string) (int, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, js := body(srv.URL)
+	if code != 200 {
+		t.Fatalf("json status %d", code)
+	}
+	rep, err := ParseReport([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	if rep.Node == nil || rep.Node.ID != "host-abcd1234" || rep.Node.Machine != "sparc20" {
+		t.Fatalf("node header = %+v", rep.Node)
+	}
+	if rep.Metrics.Counters["session.restored"] != 4 {
+		t.Errorf("metrics = %+v", rep.Metrics)
+	}
+	if refreshes != 1 {
+		t.Errorf("refresh hook ran %d times, want 1", refreshes)
+	}
+
+	if code, text := body(srv.URL + "?format=prometheus"); code != 200 ||
+		!strings.Contains(text, "session_restored 4") || strings.Contains(text, "host-abcd1234") {
+		t.Errorf("prometheus exposition wrong (status %d):\n%s", code, text)
+	}
+	if code, _ := body(srv.URL + "?format=xml"); code != http.StatusBadRequest {
+		t.Errorf("unknown format status = %d, want 400", code)
+	}
+}
+
+// TestReportJSONRoundTrip pins that a v2 report with a node header
+// survives encode → ParseReport unchanged.
+func TestReportJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("lat").Observe(3 * time.Millisecond)
+	rep := NewReport("", nil).WithMetrics(reg)
+	rep.Node = &NodeInfo{ID: "n1", PID: 42, Version: "v0"}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node.ID != "n1" || back.Node.PID != 42 {
+		t.Errorf("node header lost: %+v", back.Node)
+	}
+	if back.Metrics.Histograms["lat"].Count != 1 {
+		t.Errorf("metrics lost: %+v", back.Metrics)
+	}
+}

@@ -1,8 +1,10 @@
 package session
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -82,6 +84,24 @@ type Info struct {
 	// Live is the per-round outcome of a live (pre-copy) transfer; nil
 	// when the session ran a stop-and-copy path.
 	Live *LiveStats
+}
+
+// How names the transfer shape the session negotiated — the short form
+// journals and fleet roll-ups report.
+func (i Info) How() string {
+	switch {
+	case i.Live != nil:
+		return fmt.Sprintf("live v%d", i.Params.Version)
+	case i.Warm != nil:
+		return fmt.Sprintf("warm v%d", i.Params.Version)
+	case i.Params.Version == core.VersionMono:
+		return "monolithic v1"
+	case i.Params.Version == core.VersionStream:
+		return "streamed v2"
+	case i.Params.Version == core.VersionSectioned:
+		return "sectioned v3"
+	}
+	return fmt.Sprintf("v%d", i.Params.Version)
 }
 
 // Respond serves exactly one inbound migration session on t: it reads the
@@ -253,9 +273,27 @@ type Daemon struct {
 	OnRestored func(Info, *vm.Process, core.Timing)
 	// Metrics receives the daemon's lifecycle counters (session.accepted,
 	// session.restored, session.failed, session.bytes, and a
-	// session.fail.<class> counter per failure classification). Nil
-	// selects obs.Default — the registry /metrics serves.
+	// session.fail.<class> counter per failure classification), the
+	// session.duration end-to-end latency histogram, and the pool gauges
+	// (session.inflight, session.pool.capacity). Nil selects obs.Default
+	// — the registry /metrics serves.
 	Metrics *obs.Registry
+	// Journal, when set, receives one structured record per completed
+	// session — msg "session.restored" or "session.failed" with session
+	// ID, program, peer, negotiated version/shape, trace ID, byte and
+	// duration attributes, and (on failure) the fail class and the flight
+	// dump path. When set it replaces the ad-hoc per-session Logf
+	// lifecycle lines; Logf keeps the free-form diagnostics (traces,
+	// flight recordings). Written concurrently from session workers —
+	// slog handlers serialize internally.
+	Journal *slog.Logger
+	// OnSessionEnd, when set, is invoked after every session — restored
+	// or failed, before OnRestored runs the process — with the session's
+	// Info, its total wall time, and its error (nil on success). This is
+	// the fleet-policy hook: SLO budget trackers and admission
+	// controllers attach here without the session layer depending on
+	// them. Called concurrently from session workers.
+	OnSessionEnd func(Info, time.Duration, error)
 	// Trace enables per-session phase tracing: each session runs under
 	// its own span tree, rendered through Logf when the session ends.
 	Trace bool
@@ -310,6 +348,12 @@ func (d *Daemon) Shutdown() {
 		}
 	}
 }
+
+// Draining reports whether Shutdown has begun. This is the daemon's
+// readiness signal: a draining daemon still answers health checks and
+// finishes its in-flight sessions, but routes (/readyz) should stop
+// sending it new ones.
+func (d *Daemon) Draining() bool { return d.closing.Load() }
 
 // Abort is the hard stop: Shutdown, plus every in-flight session's
 // connection is closed under it. In-flight sessions fail with a
@@ -368,6 +412,7 @@ func (d *Daemon) Serve(l *link.Listener) error {
 	if maxc <= 0 {
 		maxc = 4
 	}
+	d.metrics().Gauge("session.pool.capacity").Set(int64(maxc))
 	sem := make(chan struct{}, maxc)
 	for {
 		conn, err := l.Accept()
@@ -393,6 +438,12 @@ func (d *Daemon) Serve(l *link.Listener) error {
 func (d *Daemon) handle(conn *link.Conn) {
 	id := d.nextID.Add(1)
 	defer conn.Close()
+	// The in-flight gauge brackets the whole worker — including the
+	// failure paths and the OnRestored run — so pool occupancy on
+	// /metrics is what a placement policy actually competes with.
+	inflight := d.metrics().Gauge("session.inflight")
+	inflight.Add(1)
+	defer inflight.Add(-1)
 	if !d.track(conn) {
 		return
 	}
@@ -418,7 +469,9 @@ func (d *Daemon) handle(conn *link.Conn) {
 	start := time.Now()
 	info, p, timing, err := Respond(t, d.Registry, d.Mach, cfg)
 	info.ID = id
+	elapsed := time.Since(start)
 	reg := d.metrics()
+	reg.Histogram("session.duration").Observe(elapsed)
 	if err != nil {
 		class := ClassifyFailure(err)
 		d.counters.Failed()
@@ -427,9 +480,15 @@ func (d *Daemon) handle(conn *link.Conn) {
 		recorder.Record("session.classify", "%s: %v", class, err)
 		cfg.Trace.SetAttr("outcome", string(class))
 		cfg.Trace.End()
-		d.logf("session %d: failed (%s): %v", id, class, err)
+		if d.Journal == nil {
+			d.logf("session %d: failed (%s): %v", id, class, err)
+		}
 		d.logTrace(id, tr)
-		d.dumpFlight(id, info.Trace, recorder, string(class), err)
+		flight := d.dumpFlight(id, info.Trace, recorder, string(class), err)
+		d.journalSession(info, elapsed, timing, class, flight, err)
+		if d.OnSessionEnd != nil {
+			d.OnSessionEnd(info, elapsed, err)
+		}
 		return
 	}
 	d.counters.Restored(timing.Bytes)
@@ -437,27 +496,71 @@ func (d *Daemon) handle(conn *link.Conn) {
 	reg.Counter("session.bytes").Add(int64(timing.Bytes))
 	cfg.Trace.SetAttr("outcome", "restored")
 	cfg.Trace.End()
-	d.logf("session %d: restored %q from %s (v%d, chunk %d, window %d): %d bytes in %.4fs",
-		id, info.Program, info.SrcMachine, info.Params.Version, info.Params.ChunkSize,
-		info.Params.Window, timing.Bytes, time.Since(start).Seconds())
+	if d.Journal == nil {
+		d.logf("session %d: restored %q from %s (v%d, chunk %d, window %d): %d bytes in %.4fs",
+			id, info.Program, info.SrcMachine, info.Params.Version, info.Params.ChunkSize,
+			info.Params.Window, timing.Bytes, elapsed.Seconds())
+	}
 	d.logTrace(id, tr)
+	d.journalSession(info, elapsed, timing, "", "", nil)
+	if d.OnSessionEnd != nil {
+		d.OnSessionEnd(info, elapsed, nil)
+	}
 	if d.OnRestored != nil {
 		d.OnRestored(info, p, timing)
 	}
 }
 
+// journalSession writes one structured record for a completed session.
+// The record and the session's flight dump share the trace ID, so a
+// fleet post-mortem can go from the journal line straight to the dump.
+func (d *Daemon) journalSession(info Info, elapsed time.Duration, timing core.Timing, class FailureClass, flight string, cause error) {
+	if d.Journal == nil {
+		return
+	}
+	attrs := []slog.Attr{
+		slog.Uint64("session", info.ID),
+		slog.String("program", info.Program),
+		slog.String("peer", info.SrcMachine),
+		slog.Int("version", int(info.Params.Version)),
+		slog.String("how", info.How()),
+		slog.Int64("bytes", int64(timing.Bytes)),
+		slog.Int64("elapsed_us", elapsed.Microseconds()),
+		slog.Int64("restore_us", timing.Restore.Microseconds()),
+	}
+	if info.Trace.Valid() {
+		attrs = append(attrs, slog.String("trace", obs.IDString(info.Trace.TraceID)))
+	}
+	if info.Live != nil {
+		attrs = append(attrs, slog.Int("precopy_rounds", len(info.Live.Rounds)))
+	}
+	level, msg := slog.LevelInfo, "session.restored"
+	if cause != nil {
+		level, msg = slog.LevelError, "session.failed"
+		attrs = append(attrs,
+			slog.String("fail_class", string(class)),
+			slog.String("error", cause.Error()))
+		if flight != "" {
+			attrs = append(attrs, slog.String("flight", flight))
+		}
+	}
+	d.Journal.LogAttrs(context.Background(), level, msg, attrs...)
+}
+
 // dumpFlight publishes a failed session's flight recording: the event log
 // through Logf, and — with TraceDir set — a JSON file correlated to the
-// distributed trace by ID. Called only on failure, so the success path
-// pays nothing beyond the in-memory ring.
-func (d *Daemon) dumpFlight(id uint64, tc obs.TraceContext, recorder *obs.FlightRecorder, outcome string, cause error) {
+// distributed trace by ID. It returns the dump path ("" when nothing was
+// written) so the journal record can reference the exact file. Called
+// only on failure, so the success path pays nothing beyond the in-memory
+// ring.
+func (d *Daemon) dumpFlight(id uint64, tc obs.TraceContext, recorder *obs.FlightRecorder, outcome string, cause error) string {
 	if recorder == nil {
-		return
+		return ""
 	}
 	d.logf("session %d flight recording (%d events, %d dropped):\n%s",
 		id, recorder.Total(), recorder.Dropped(), strings.TrimRight(recorder.String(), "\n"))
 	if d.TraceDir == "" {
-		return
+		return ""
 	}
 	data := recorder.Export()
 	data.Session = id
@@ -473,14 +576,15 @@ func (d *Daemon) dumpFlight(id uint64, tc obs.TraceContext, recorder *obs.Flight
 	b, err := json.MarshalIndent(data, "", "  ")
 	if err != nil {
 		d.logf("session %d: flight dump encode: %v", id, err)
-		return
+		return ""
 	}
 	path := filepath.Join(d.TraceDir, name)
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		d.logf("session %d: flight dump write: %v", id, err)
-		return
+		return ""
 	}
 	d.logf("session %d: flight recording dumped to %s", id, path)
+	return path
 }
 
 // logTrace renders one completed session's span tree through Logf.

@@ -55,6 +55,40 @@ func Open(dir string, reg *obs.Registry) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Usage walks the blob tree and reports how many section bodies the
+// store holds and their total size in bytes — the node telemetry gauges
+// (`node.store.blobs` / `node.store.bytes`). Lock-free: writes land by
+// atomic rename, so the walk sees whole objects; in-progress temp files
+// are skipped.
+func (s *Store) Usage() (blobs, bytes int64, err error) {
+	root := filepath.Join(s.dir, "blobs")
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() || strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) { // swept by concurrent GC
+				return nil
+			}
+			return err
+		}
+		blobs++
+		bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: usage: %w", err)
+	}
+	return blobs, bytes, nil
+}
+
 // blobPath shards blobs by the first address byte so no single directory
 // grows unboundedly.
 func (s *Store) blobPath(h Hash) string {
